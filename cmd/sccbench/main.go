@@ -1,0 +1,104 @@
+// Command sccbench regenerates the paper's Fig. 9: the latency of each
+// collective operation against the vector size, for every measured
+// communication stack.
+//
+// Examples:
+//
+//	sccbench -op allreduce                      # one panel, quick sampling
+//	sccbench -op all -lo 500 -hi 700 -step 1    # the paper's full x-axis
+//	sccbench -op allreduce -csv fig9f.csv       # machine-readable output
+//	sccbench -summary                           # Sec. V-A speedup table
+//	sccbench -op allreduce -bugfixed            # hardware-bug ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scc/internal/bench"
+	"scc/internal/timing"
+)
+
+func main() {
+	op := flag.String("op", "allreduce", "collective to sweep: allgather, alltoall, reducescatter, broadcast, reduce, allreduce, or all")
+	lo := flag.Int("lo", 500, "smallest vector size (doubles)")
+	hi := flag.Int("hi", 700, "largest vector size (doubles)")
+	step := flag.Int("step", 4, "vector size step (1 reproduces the paper's spikes at full resolution)")
+	reps := flag.Int("reps", 1, "timed repetitions per point (first run is always a discarded warm-up)")
+	csv := flag.String("csv", "", "write the panel as CSV to this file instead of a table")
+	plot := flag.Bool("plot", false, "render the panel as an ASCII chart instead of a table")
+	summary := flag.Bool("summary", false, "print the Sec. V-A per-collective speedup summary and exit")
+	bugfixed := flag.Bool("bugfixed", false, "simulate the chip with the local-MPB erratum fixed (Sec. IV-D ablation)")
+	flag.Parse()
+
+	model := timing.Default()
+	model.HardwareBugFixed = *bugfixed
+
+	if *summary {
+		sizes := bench.Sizes(*lo, *hi, max(*step, 25))
+		fmt.Printf("Per-collective average speedup over blocking RCCE/RCCE_comm (sizes %d..%d):\n", *lo, *hi)
+		fmt.Println("(paper, Sec. V-A: between ~1.6x for Alltoall and ~2.8x for Allgather)")
+		for _, row := range bench.Summary(model, sizes, *reps) {
+			fmt.Printf("  %-14s %5.2fx   (best: %s)\n", row.Op, row.Speedup, row.BestName)
+		}
+		return
+	}
+
+	ops := []bench.Op{bench.Op(*op)}
+	if *op == "all" {
+		ops = bench.AllOps()
+	} else if !validOp(bench.Op(*op)) {
+		fmt.Fprintf(os.Stderr, "unknown op %q\n", *op)
+		os.Exit(2)
+	}
+
+	sizes := bench.Sizes(*lo, *hi, *step)
+	for _, o := range ops {
+		panel := bench.Panel(model, o, sizes, *reps)
+		title := fmt.Sprintf("Fig. 9 (%s): latency [us] vs vector size [doubles], 48 cores", o)
+		if *bugfixed {
+			title += " [hardware bug fixed]"
+		}
+		if *csv != "" && len(ops) == 1 {
+			f, err := os.Create(*csv)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := bench.WriteCSV(f, panel); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *csv)
+			continue
+		}
+		if *plot {
+			if err := bench.RenderChart(os.Stdout, title, panel, 100, 22); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if err := bench.WriteTable(os.Stdout, title, panel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func validOp(op bench.Op) bool {
+	for _, o := range bench.AllOps() {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,33 @@
+// Package sccsim is a simulator of Intel's Single-Chip Cloud Computer
+// (SCC) together with the low-latency collective communication library
+// of Kohler, Radetzki, Gschwandtner and Fahringer, "Low-Latency
+// Collectives for the Intel SCC" (IEEE CLUSTER 2012).
+//
+// The package lets you run SPMD programs on a simulated 48-core SCC and
+// measure collective communication the way the paper does:
+//
+//	sys := sccsim.New(sccsim.WithStack(sccsim.StackLightweightBalanced))
+//	err := sys.Run(func(r *sccsim.Rank) {
+//		src := r.AllocF64(552)
+//		dst := r.AllocF64(552)
+//		r.WriteF64s(src, myVector)
+//		r.Allreduce(src, dst, 552)
+//	})
+//	fmt.Println(sys.Elapsed()) // virtual time on the simulated chip
+//
+// Six communication stacks are available, matching the paper's measured
+// configurations: the blocking RCCE baseline, iRCCE non-blocking
+// primitives, the paper's lightweight non-blocking primitives (with and
+// without load-balanced block partitioning), the MPB-direct Allreduce,
+// and the RCKMPI comparator.
+//
+// The heavy lifting lives in the internal packages: internal/simtime
+// (deterministic discrete-event engine), internal/mesh (2D mesh NoC),
+// internal/scc (cores, caches, message-passing buffers), internal/rcce,
+// internal/ircce, internal/lwnb (the three point-to-point libraries),
+// internal/core (the paper's optimized collectives), internal/rckmpi
+// (the MPI comparator), internal/gcmc (the thermodynamic application)
+// and internal/bench (the harness that regenerates every figure).
+// DESIGN.md maps each to the paper; EXPERIMENTS.md records the
+// reproduction outcomes.
+package sccsim

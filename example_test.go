@@ -1,0 +1,96 @@
+package sccsim_test
+
+import (
+	"fmt"
+
+	sccsim "scc"
+)
+
+// Example runs the paper's headline operation: a 552-double Allreduce
+// (the thermodynamic application's Fourier coefficient vector) on all 48
+// simulated cores.
+func Example() {
+	sys := sccsim.New(sccsim.WithStack(sccsim.StackLightweightBalanced))
+	err := sys.Run(func(r *sccsim.Rank) {
+		src := r.AllocF64(552)
+		dst := r.AllocF64(552)
+		v := make([]float64, 552)
+		for i := range v {
+			v[i] = 1
+		}
+		r.WriteF64s(src, v)
+		r.Allreduce(src, dst, 552)
+		if r.ID() == 0 {
+			out := make([]float64, 1)
+			r.ReadF64s(dst, out)
+			fmt.Printf("sum over 48 cores: %v\n", out[0])
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// sum over 48 cores: 48
+}
+
+// ExampleStack_ordering shows the six measured stacks in the paper's
+// speed order.
+func ExampleStack_ordering() {
+	for _, s := range sccsim.Stacks() {
+		fmt.Println(s)
+	}
+	// Output:
+	// RCKMPI
+	// blocking
+	// iRCCE
+	// lightweight non-blocking
+	// lightweight non-blocking, balanced
+	// MPB-based Allreduce
+}
+
+// ExampleRank_Broadcast distributes a vector from rank 0 to everyone.
+func ExampleRank_Broadcast() {
+	sys := sccsim.New()
+	err := sys.Run(func(r *sccsim.Rank) {
+		a := r.AllocF64(4)
+		if r.ID() == 0 {
+			r.WriteF64s(a, []float64{1, 2, 3, 4})
+		}
+		r.Broadcast(0, a, 4)
+		if r.ID() == 47 {
+			out := make([]float64, 4)
+			r.ReadF64s(a, out)
+			fmt.Println(out)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// [1 2 3 4]
+}
+
+// ExampleRank_SetFrequencyDivider demonstrates the RCCE_power-style
+// DVFS control: halving a core's clock doubles its compute time.
+func ExampleRank_SetFrequencyDivider() {
+	sys := sccsim.New()
+	err := sys.Run(func(r *sccsim.Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		t0 := r.Now()
+		r.ComputeCycles(1000)
+		atPreset := r.Now() - t0
+
+		r.SetFrequencyDivider(6) // 533 MHz -> 266 MHz
+		t1 := r.Now()
+		r.ComputeCycles(1000)
+		atHalf := r.Now() - t1
+		fmt.Printf("half clock takes %vx longer\n", int64(atHalf)/int64(atPreset))
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// half clock takes 2x longer
+}

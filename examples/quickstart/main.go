@@ -1,0 +1,45 @@
+// Quickstart: run one Allreduce on the simulated 48-core SCC under two
+// communication stacks and compare their latency - the paper's headline
+// experiment in a dozen lines.
+package main
+
+import (
+	"fmt"
+
+	sccsim "scc"
+)
+
+func main() {
+	const n = 552 // the paper's application vector: 276 complex Fourier coefficients
+
+	for _, stack := range []sccsim.Stack{sccsim.StackBlocking, sccsim.StackLightweightBalanced} {
+		sys := sccsim.New(sccsim.WithStack(stack))
+		var sum0 float64
+		err := sys.Run(func(r *sccsim.Rank) {
+			src := r.AllocF64(n)
+			dst := r.AllocF64(n)
+
+			// Every rank contributes its rank id in every element.
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(r.ID())
+			}
+			r.WriteF64s(src, v)
+
+			r.Allreduce(src, dst, n)
+
+			if r.ID() == 0 {
+				out := make([]float64, n)
+				r.ReadF64s(dst, out)
+				sum0 = out[0]
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-36s sum=%v (want %d)   latency %v\n",
+			stack, sum0, 47*48/2, sys.Elapsed())
+	}
+	fmt.Println("\nThe gap between the two lines is the paper's combined optimization")
+	fmt.Println("(relaxed synchronization + lightweight primitives + load balancing).")
+}

@@ -1,0 +1,3 @@
+module scc
+
+go 1.22

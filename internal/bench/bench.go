@@ -1,0 +1,340 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation: per-collective latency sweeps over vector sizes (Fig. 9),
+// the block-partitioning tables (Fig. 6), the application runtimes
+// (Fig. 10), and the summary speedup table of Sec. V-A.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"scc/internal/core"
+	"scc/internal/rcce"
+	"scc/internal/rckmpi"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// Op names one collective operation, matching the paper's Fig. 9 panels.
+type Op string
+
+// The six collectives of Fig. 9.
+const (
+	OpAllgather     Op = "allgather"
+	OpAlltoall      Op = "alltoall"
+	OpReduceScatter Op = "reducescatter"
+	OpBroadcast     Op = "broadcast"
+	OpReduce        Op = "reduce"
+	OpAllreduce     Op = "allreduce"
+)
+
+// AllOps returns the Fig. 9 panels in order (a)..(f).
+func AllOps() []Op {
+	return []Op{OpAllgather, OpAlltoall, OpReduceScatter, OpBroadcast, OpReduce, OpAllreduce}
+}
+
+// Stack identifies one measured communication stack (a figure legend
+// entry).
+type Stack struct {
+	Name string
+	// Cfg is the collectives configuration; ignored when RCKMPI is set.
+	Cfg    core.Config
+	RCKMPI bool
+}
+
+// StacksFor returns the legend entries of the Fig. 9 panel for op, in
+// the paper's order. The MPB-based stack exists only for Allreduce; the
+// balanced stack only for the block-partitioned collectives.
+func StacksFor(op Op) []Stack {
+	s := []Stack{
+		{Name: "RCKMPI", RCKMPI: true},
+		{Name: "blocking", Cfg: core.ConfigBlocking},
+		{Name: "iRCCE", Cfg: core.ConfigIRCCE},
+		{Name: "lightweight non-blocking", Cfg: core.ConfigLightweight},
+	}
+	switch op {
+	case OpAllgather, OpAlltoall:
+		// These move whole vectors; block balancing does not apply.
+	case OpReduceScatter, OpBroadcast, OpReduce:
+		s = append(s, Stack{Name: "lightweight non-blocking, balanced", Cfg: core.ConfigBalanced})
+	case OpAllreduce:
+		s = append(s,
+			Stack{Name: "lightweight non-blocking, balanced", Cfg: core.ConfigBalanced},
+			Stack{Name: "MPB-based Allreduce", Cfg: core.ConfigMPB},
+		)
+	}
+	return s
+}
+
+// Measure runs one collective of the given vector size on a fresh
+// 48-core chip and returns the average latency over reps repetitions as
+// observed on core 0 (like the paper's methodology; the first, cache-cold
+// repetition is treated as warm-up and excluded).
+func Measure(model *timing.Model, op Op, st Stack, n, reps int) simtime.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	chip := scc.New(model)
+	comm := rcce.NewComm(chip)
+	perRep := make([]simtime.Duration, reps)
+	chip.Launch(func(c *scc.Core) {
+		runCollectiveProgram(c, comm, op, st, n, reps, perRep)
+	})
+	if err := chip.Run(); err != nil {
+		panic(fmt.Sprintf("bench: %s/%s n=%d: %v", op, st.Name, n, err))
+	}
+	var total simtime.Duration
+	for _, d := range perRep {
+		total += d
+	}
+	return total / simtime.Time(reps)
+}
+
+// runCollectiveProgram is the SPMD body: warm-up plus timed repetitions,
+// separated by barriers.
+func runCollectiveProgram(c *scc.Core, comm *rcce.Comm, op Op, st Stack, n, reps int, perRep []simtime.Duration) {
+	p := comm.NumUEs()
+	ue := comm.UE(c.ID)
+	var x *core.Ctx
+	var mp *rckmpi.Lib
+	if st.RCKMPI {
+		mp = rckmpi.New(ue)
+	} else {
+		x = core.NewCtx(ue, st.Cfg)
+	}
+
+	// Buffers sized for the worst case (alltoall/allgather need p*n).
+	big := n * p
+	src := c.AllocF64(big)
+	dst := c.AllocF64(big)
+	v := make([]float64, big)
+	for i := range v {
+		v[i] = float64(c.ID) + float64(i)*0.001
+	}
+	c.WriteF64s(src, v)
+
+	runOnce := func() {
+		if st.RCKMPI {
+			runRCKMPIOp(mp, op, src, dst, n)
+			return
+		}
+		runCoreOp(x, op, src, dst, n)
+	}
+
+	ue.Barrier()
+	runOnce() // warm-up: first touch of all buffers
+	for r := 0; r < reps; r++ {
+		ue.Barrier()
+		t0 := c.Now()
+		runOnce()
+		if c.ID == 0 {
+			perRep[r] = c.Now() - t0
+		}
+	}
+}
+
+func runCoreOp(x *core.Ctx, op Op, src, dst scc.Addr, n int) {
+	switch op {
+	case OpAllgather:
+		x.Allgather(src, n, dst)
+	case OpAlltoall:
+		x.Alltoall(src, dst, n)
+	case OpReduceScatter:
+		x.ReduceScatter(src, dst, n, core.Sum)
+	case OpBroadcast:
+		x.Broadcast(0, src, n)
+	case OpReduce:
+		x.Reduce(0, src, dst, n, core.Sum)
+	case OpAllreduce:
+		x.Allreduce(src, dst, n, core.Sum)
+	default:
+		panic("bench: unknown op " + string(op))
+	}
+}
+
+func runRCKMPIOp(mp *rckmpi.Lib, op Op, src, dst scc.Addr, n int) {
+	switch op {
+	case OpAllgather:
+		mp.Allgather(src, n, dst)
+	case OpAlltoall:
+		mp.Alltoall(src, dst, n)
+	case OpReduceScatter:
+		mp.ReduceScatter(src, dst, n, rckmpi.Op(core.Sum))
+	case OpBroadcast:
+		mp.Bcast(0, src, n)
+	case OpReduce:
+		mp.Reduce(0, src, dst, n, rckmpi.Op(core.Sum))
+	case OpAllreduce:
+		mp.Allreduce(src, dst, n, rckmpi.Op(core.Sum))
+	default:
+		panic("bench: unknown op " + string(op))
+	}
+}
+
+// Point is one sample of a latency curve.
+type Point struct {
+	N       int
+	Latency simtime.Duration
+}
+
+// Series is one labeled latency curve of a Fig. 9 panel.
+type Series struct {
+	Stack  Stack
+	Points []Point
+}
+
+// Sweep measures one stack across the given vector sizes.
+func Sweep(model *timing.Model, op Op, st Stack, sizes []int, reps int) Series {
+	s := Series{Stack: st}
+	for _, n := range sizes {
+		s.Points = append(s.Points, Point{N: n, Latency: Measure(model, op, st, n, reps)})
+	}
+	return s
+}
+
+// Panel runs the complete Fig. 9 panel for op: every legend stack over
+// the size range.
+func Panel(model *timing.Model, op Op, sizes []int, reps int) []Series {
+	var out []Series
+	for _, st := range StacksFor(op) {
+		out = append(out, Sweep(model, op, st, sizes, reps))
+	}
+	return out
+}
+
+// Sizes returns the paper's x-axis: every vector size in [lo, hi].
+func Sizes(lo, hi, step int) []int {
+	if step < 1 {
+		step = 1
+	}
+	var out []int
+	for n := lo; n <= hi; n += step {
+		out = append(out, n)
+	}
+	return out
+}
+
+// MeanLatency averages a series (used for the paper's "average speedup"
+// statements).
+func MeanLatency(s Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Latency.Micros()
+	}
+	return sum / float64(len(s.Points))
+}
+
+// SpeedupVsBaseline computes mean(baseline)/mean(s) - the paper reports
+// all speedups relative to the blocking RCCE/RCCE_comm stack.
+func SpeedupVsBaseline(baseline, s Series) float64 {
+	m := MeanLatency(s)
+	if m == 0 {
+		return 0
+	}
+	return MeanLatency(baseline) / m
+}
+
+// WriteCSV emits a panel as CSV: n, then one latency column (in
+// microseconds) per stack.
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	headers := []string{"n"}
+	for _, s := range series {
+		headers = append(headers, s.Stack.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for i, pt := range series[0].Points {
+		row := []string{fmt.Sprintf("%d", pt.N)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.2f", s.Points[i].Latency.Micros()))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders a panel as an aligned text table.
+func WriteTable(w io.Writer, title string, series []Series) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	cols := []string{"n"}
+	for _, s := range series {
+		cols = append(cols, s.Stack.Name)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+		if widths[i] < 12 {
+			widths[i] = 12
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(cols); err != nil {
+		return err
+	}
+	for i, pt := range series[0].Points {
+		cells := []string{fmt.Sprintf("%d", pt.N)}
+		for _, s := range series {
+			cells = append(cells, fmt.Sprintf("%.1fus", s.Points[i].Latency.Micros()))
+		}
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SummaryRow is one line of the Sec. V-A summary: per-collective average
+// speedup of the best non-MPB optimized stack over the blocking baseline.
+type SummaryRow struct {
+	Op       Op
+	Speedup  float64
+	BestName string
+}
+
+// Summary computes the paper's closing table ("all collectives show
+// speedups between approximately 1.6x and 2.8x on average").
+func Summary(model *timing.Model, sizes []int, reps int) []SummaryRow {
+	var rows []SummaryRow
+	for _, op := range AllOps() {
+		panel := Panel(model, op, sizes, reps)
+		var baseline Series
+		for _, s := range panel {
+			if s.Stack.Name == "blocking" {
+				baseline = s
+			}
+		}
+		best, bestName := 0.0, ""
+		for _, s := range panel {
+			if s.Stack.RCKMPI || s.Stack.Name == "blocking" || s.Stack.Cfg.MPBDirect {
+				continue
+			}
+			if sp := SpeedupVsBaseline(baseline, s); sp > best {
+				best, bestName = sp, s.Stack.Name
+			}
+		}
+		rows = append(rows, SummaryRow{Op: op, Speedup: best, BestName: bestName})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Op < rows[j].Op })
+	return rows
+}

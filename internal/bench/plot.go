@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotMarks assigns one rune per series, in legend order.
+var plotMarks = []byte{'R', 'b', 'i', 'l', 'B', 'M', '1', '2', '3'}
+
+// RenderChart draws a Fig. 9-style panel as ASCII art: latency (log
+// scale) against vector size, one mark per series. Later series
+// overwrite earlier ones where curves overlap, which makes the fastest
+// stacks (drawn last, like the paper's legend order) stand out.
+func RenderChart(w io.Writer, title string, series []Series, width, height int) error {
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minN, maxN := series[0].Points[0].N, series[0].Points[0].N
+	minL, maxL := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.N < minN {
+				minN = p.N
+			}
+			if p.N > maxN {
+				maxN = p.N
+			}
+			l := p.Latency.Micros()
+			if l > 0 {
+				minL = math.Min(minL, l)
+				maxL = math.Max(maxL, l)
+			}
+		}
+	}
+	if maxN == minN {
+		maxN = minN + 1
+	}
+	if !(minL < maxL) {
+		maxL = minL * 1.01
+	}
+	logMin, logMax := math.Log(minL), math.Log(maxL)
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := plotMarks[si%len(plotMarks)]
+		for _, p := range s.Points {
+			l := p.Latency.Micros()
+			if l <= 0 {
+				continue
+			}
+			x := (p.N - minN) * (width - 1) / (maxN - minN)
+			fy := (math.Log(l) - logMin) / (logMax - logMin)
+			y := height - 1 - int(fy*float64(height-1)+0.5)
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = mark
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for y, row := range grid {
+		label := ""
+		switch y {
+		case 0:
+			label = fmt.Sprintf("%9.0fus", maxL)
+		case height - 1:
+			label = fmt.Sprintf("%9.0fus", minL)
+		default:
+			label = strings.Repeat(" ", 11)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  n=%-8d%*s n=%d   (log latency scale)\n",
+		strings.Repeat(" ", 11), minN, width-20, "", maxN); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotMarks[si%len(plotMarks)], s.Stack.Name))
+	}
+	_, err := fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
+	return err
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+
+	"scc/internal/rcce"
+	"scc/internal/scc"
+)
+
+// Op is an associative binary reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Built-in reduction operators.
+var (
+	Sum  Op = func(a, b float64) float64 { return a + b }
+	Prod Op = func(a, b float64) float64 { return a * b }
+	Max  Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Config selects which of the paper's optimization steps are active.
+type Config struct {
+	// Transport picks the point-to-point layer (Sec. IV-A/B).
+	Transport TransportKind
+	// Balanced enables the load-balanced block partitioning (Sec. IV-C).
+	Balanced bool
+	// MPBDirect enables the MPB-resident double-buffered Allreduce
+	// (Sec. IV-D). It only affects Allreduce and implies the ring
+	// phases run on MPB buffers instead of private memory.
+	MPBDirect bool
+}
+
+// Name renders the configuration like the paper's figure legends.
+func (c Config) Name() string {
+	if c.MPBDirect {
+		return "MPB-based Allreduce"
+	}
+	if c.Balanced {
+		return c.Transport.String() + ", balanced"
+	}
+	return c.Transport.String()
+}
+
+// The paper's five measured configurations, in presentation order.
+var (
+	ConfigBlocking    = Config{Transport: TransportBlocking}
+	ConfigIRCCE       = Config{Transport: TransportIRCCE}
+	ConfigLightweight = Config{Transport: TransportLightweight}
+	ConfigBalanced    = Config{Transport: TransportLightweight, Balanced: true}
+	ConfigMPB         = Config{Transport: TransportLightweight, Balanced: true, MPBDirect: true}
+)
+
+// Configs lists the paper's measured configurations in order.
+func Configs() []Config {
+	return []Config{ConfigBlocking, ConfigIRCCE, ConfigLightweight, ConfigBalanced, ConfigMPB}
+}
+
+// Ctx is the per-core collectives context: one UE plus its transport
+// endpoint and scratch buffers. Create one per core inside the simulated
+// program via NewCtx.
+type Ctx struct {
+	ue  *rcce.UE
+	ep  Endpoint
+	cfg Config
+
+	// scratch private-memory vectors for ring partials, sized lazily.
+	curAddr, rbufAddr scc.Addr
+	scratchLen        int
+}
+
+// NewCtx builds a collectives context for one UE.
+func NewCtx(ue *rcce.UE, cfg Config) *Ctx {
+	return &Ctx{ue: ue, ep: NewEndpoint(ue, cfg.Transport), cfg: cfg, scratchLen: -1}
+}
+
+// UE returns the underlying unit of execution.
+func (x *Ctx) UE() *rcce.UE { return x.ue }
+
+// Config returns the active configuration.
+func (x *Ctx) Config() Config { return x.cfg }
+
+// ensureScratch sizes the two ring scratch vectors to at least n
+// elements.
+func (x *Ctx) ensureScratch(n int) {
+	if n <= x.scratchLen {
+		return
+	}
+	x.curAddr = x.ue.Core().AllocF64(n)
+	x.rbufAddr = x.ue.Core().AllocF64(n)
+	x.scratchLen = n
+}
+
+func mod(a, p int) int { return ((a % p) + p) % p }
+
+// maxBlockLen returns the largest block length of a partition.
+func maxBlockLen(blocks []Block) int {
+	m := 0
+	for _, b := range blocks {
+		if b.Len > m {
+			m = b.Len
+		}
+	}
+	return m
+}
+
+// reduceInto computes dst[i] = op(a[i], b[i]) for n elements, charging
+// cached private-memory reads/writes plus per-element FP work. a, b and
+// dst are private addresses.
+func (x *Ctx) reduceInto(dst, a, b scc.Addr, n int, op Op) {
+	if n == 0 {
+		return
+	}
+	core := x.ue.Core()
+	va := make([]float64, n)
+	vb := make([]float64, n)
+	core.ReadF64s(a, va)
+	core.ReadF64s(b, vb)
+	core.ComputeCycles(core.Chip().Model.ReducePerElementCoreCycles * int64(n))
+	for i := range va {
+		va[i] = op(va[i], vb[i])
+	}
+	core.WriteF64s(dst, va)
+}
+
+// copyPriv copies n elements between private addresses, with costs.
+func (x *Ctx) copyPriv(dst, src scc.Addr, n int) {
+	if n == 0 {
+		return
+	}
+	core := x.ue.Core()
+	v := make([]float64, n)
+	core.ReadF64s(src, v)
+	core.WriteF64s(dst, v)
+}
+
+// ReduceScatter reduces p vectors of n elements element-wise and leaves
+// block `me` of the result (per the active partitioning) at dst. It uses
+// the bucket/ring algorithm of Fig. 2: p-1 rounds, each core pushing
+// partial blocks to its right neighbor. dst must hold at least the
+// largest block. It returns the partition used.
+func (x *Ctx) ReduceScatter(src, dst scc.Addr, n int, op Op) []Block {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	if p == 1 {
+		x.copyPriv(dst, src, n)
+		return blocks
+	}
+	x.ensureScratch(maxBlockLen(blocks))
+	right := mod(me+1, p)
+	left := mod(me-1, p)
+
+	for r := 0; r < p-1; r++ {
+		sendIdx := mod(me-1-r, p)
+		recvIdx := mod(me-2-r, p)
+		sb, rb := blocks[sendIdx], blocks[recvIdx]
+		sendAddr := x.curAddr
+		if r == 0 {
+			// First round sends the raw input block directly.
+			sendAddr = src + scc.Addr(8*sb.Off)
+		}
+		x.ep.Exchange(right, sendAddr, 8*sb.Len, left, x.rbufAddr, 8*rb.Len)
+		// Combine the received partial with my own contribution; the
+		// result is next round's send (or the final block).
+		x.reduceInto(x.curAddr, x.rbufAddr, src+scc.Addr(8*rb.Off), rb.Len, op)
+	}
+	myBlock := blocks[me]
+	x.copyPriv(dst, x.curAddr, myBlock.Len)
+	return blocks
+}
+
+// allgatherBlocks runs the ring allgather over an arbitrary partition:
+// each core starts owning blocks[me] inside dst (at its block offset)
+// and after p-1 rounds every block is present in every core's dst.
+func (x *Ctx) allgatherBlocks(dst scc.Addr, blocks []Block) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 {
+		return
+	}
+	right := mod(me+1, p)
+	left := mod(me-1, p)
+	for r := 0; r < p-1; r++ {
+		sendIdx := mod(me-r, p)
+		recvIdx := mod(me-1-r, p)
+		sb, rb := blocks[sendIdx], blocks[recvIdx]
+		x.ep.Exchange(right, dst+scc.Addr(8*sb.Off), 8*sb.Len,
+			left, dst+scc.Addr(8*rb.Off), 8*rb.Len)
+	}
+}
+
+// Allreduce reduces p vectors of n elements element-wise and leaves the
+// full result at dst on every core: a ReduceScatter followed by an
+// Allgather (the RCCE_comm structure for long vectors), or the
+// MPB-direct variant when configured.
+func (x *Ctx) Allreduce(src, dst scc.Addr, n int, op Op) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 {
+		x.copyPriv(dst, src, n)
+		return
+	}
+	if x.shortMessage(n) {
+		// Short-message variant: tree Reduce followed by tree Broadcast
+		// (RCCE_comm's size selection; 2*log2(p) levels beat 2*(p-1)
+		// ring rounds for tiny vectors).
+		x.ReduceTree(0, src, dst, n, op)
+		x.BroadcastTree(0, dst, n)
+		return
+	}
+	if x.cfg.MPBDirect {
+		x.allreduceMPB(src, dst, n, op)
+		return
+	}
+	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	// Reduce-scatter phase, with my block landing directly in dst.
+	x.ensureScratch(maxBlockLen(blocks))
+	rsBlocks := x.ReduceScatter(src, dst+scc.Addr(8*blocks[me].Off), n, op)
+	_ = rsBlocks
+	// Allgather phase over the same partition.
+	x.allgatherBlocks(dst, blocks)
+}
+
+// Reduce reduces to a single root: a ReduceScatter followed by a gather
+// of every block to the root. dst is only meaningful on the root.
+func (x *Ctx) Reduce(root int, src, dst scc.Addr, n int, op Op) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 {
+		x.copyPriv(dst, src, n)
+		return
+	}
+	if x.shortMessage(n) {
+		// Short-message variant: binomial tree (RCCE_comm-style size
+		// selection; the ring's 47 handshake rounds cannot amortize).
+		x.ReduceTree(root, src, dst, n, op)
+		return
+	}
+	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	var blockDst scc.Addr
+	if me == root {
+		blockDst = dst + scc.Addr(8*blocks[me].Off)
+	} else {
+		x.ensureScratch(maxBlockLen(blocks))
+		blockDst = x.curAddr // reduced block staged in scratch
+	}
+	x.ReduceScatter(src, blockDst, n, op)
+	// Gather phase: everyone ships its block to the root.
+	if me == root {
+		for q := 0; q < p; q++ {
+			if q == root || blocks[q].Len == 0 {
+				continue
+			}
+			x.ep.Recv(q, dst+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+		}
+		return
+	}
+	if blocks[me].Len > 0 {
+		x.ep.Send(root, blockDst, 8*blocks[me].Len)
+	}
+}
+
+// Broadcast distributes n elements at addr from root to every core using
+// the scatter + allgather structure RCCE_comm uses for long messages.
+func (x *Ctx) Broadcast(root int, addr scc.Addr, n int) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 {
+		return
+	}
+	if x.shortMessage(n) {
+		x.BroadcastTree(root, addr, n)
+		return
+	}
+	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	// Scatter phase: the root ships block q to core q.
+	if me == root {
+		for q := 0; q < p; q++ {
+			if q == root || blocks[q].Len == 0 {
+				continue
+			}
+			x.ep.Send(q, addr+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+		}
+	} else if blocks[me].Len > 0 {
+		x.ep.Recv(root, addr+scc.Addr(8*blocks[me].Off), 8*blocks[me].Len)
+	}
+	// Allgather phase over the same partition reassembles the vector
+	// everywhere.
+	x.allgatherBlocks(addr, blocks)
+}
+
+// Allgather concatenates each core's nPer-element contribution (at src)
+// into dst (p*nPer elements, ordered by rank) on every core, using the
+// ring algorithm.
+func (x *Ctx) Allgather(src scc.Addr, nPer int, dst scc.Addr) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	// Place my contribution, then ring-rotate contributions.
+	x.copyPriv(dst+scc.Addr(8*nPer*me), src, nPer)
+	blocks := make([]Block, p)
+	for i := range blocks {
+		blocks[i] = Block{Off: i * nPer, Len: nPer}
+	}
+	x.allgatherBlocks(dst, blocks)
+}
+
+// Alltoall performs a complete exchange: src holds p blocks of nPer
+// elements (block q destined for core q); after the call dst holds p
+// blocks of nPer elements (block q received from core q). The schedule
+// is the linear pairwise exchange (partner = (round - me) mod p), which
+// pairs cores symmetrically in every round and therefore stays
+// deadlock-free even with the blocking transport ordered by rank.
+func (x *Ctx) Alltoall(src, dst scc.Addr, nPer int) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	for r := 0; r < p; r++ {
+		partner := mod(r-me, p)
+		sAddr := src + scc.Addr(8*nPer*partner)
+		rAddr := dst + scc.Addr(8*nPer*partner)
+		if partner == me {
+			x.copyPriv(rAddr, sAddr, nPer)
+			continue
+		}
+		if nPer == 0 {
+			continue
+		}
+		x.ep.ExchangePair(partner, sAddr, 8*nPer, rAddr, 8*nPer)
+	}
+}
+
+// Barrier synchronizes all cores (delegates to RCCE's barrier).
+func (x *Ctx) Barrier() { x.ue.Barrier() }
+
+// sanity guard used by tests.
+func (x *Ctx) String() string {
+	return fmt.Sprintf("Ctx(ue=%d, %s)", x.ue.ID(), x.cfg.Name())
+}

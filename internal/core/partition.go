@@ -1,0 +1,94 @@
+// Package core implements the paper's contribution: collective
+// communication operations optimized for on-chip networks (Broadcast,
+// Reduce, Allreduce, Allgather, Alltoall, ReduceScatter), built over
+// pluggable point-to-point transports (blocking RCCE, iRCCE, the
+// lightweight non-blocking primitives) with the paper's load-balanced
+// block partitioning (Sec. IV-C) and the MPB-direct double-buffered
+// Allreduce (Sec. IV-D).
+package core
+
+// Block describes one contiguous piece of a partitioned vector, in
+// elements.
+type Block struct {
+	Off int // element offset of the block within the vector
+	Len int // element count
+}
+
+// Partition splits n elements over p blocks the way RCCE_comm does
+// (Fig. 6a): the general block size is the integer part of n/p and the
+// FIRST block absorbs the entire remainder, so it can grow to more than
+// five times the general size (575 elements over 48 cores: 58 vs 11).
+func Partition(n, p int) []Block {
+	if p <= 0 {
+		panic("core: partition over non-positive block count")
+	}
+	if n < 0 {
+		panic("core: partition of negative length")
+	}
+	base := n / p
+	first := base + n%p
+	blocks := make([]Block, p)
+	blocks[0] = Block{Off: 0, Len: first}
+	off := first
+	for i := 1; i < p; i++ {
+		blocks[i] = Block{Off: off, Len: base}
+		off += base
+	}
+	return blocks
+}
+
+// PartitionBalanced splits n elements over p blocks the paper's way
+// (Fig. 6b): the first n mod p blocks get one extra element, so the
+// worst-case size ratio drops from ~5x to at most (base+1)/base (~1.1x
+// for the thermodynamic application's 552-element vectors).
+func PartitionBalanced(n, p int) []Block {
+	if p <= 0 {
+		panic("core: partition over non-positive block count")
+	}
+	if n < 0 {
+		panic("core: partition of negative length")
+	}
+	base := n / p
+	extra := n % p
+	blocks := make([]Block, p)
+	off := 0
+	for i := range blocks {
+		l := base
+		if i < extra {
+			l++
+		}
+		blocks[i] = Block{Off: off, Len: l}
+		off += l
+	}
+	return blocks
+}
+
+// PartitionFor selects the partitioning strategy by the balanced flag.
+func PartitionFor(n, p int, balanced bool) []Block {
+	if balanced {
+		return PartitionBalanced(n, p)
+	}
+	return Partition(n, p)
+}
+
+// ImbalanceRatio returns the ratio of the largest to the smallest
+// non-empty block, the figure of merit of Fig. 6 ("~3.2:1", "~1.1:1").
+// It returns 1 if fewer than two non-empty blocks exist.
+func ImbalanceRatio(blocks []Block) float64 {
+	maxLen, minLen := 0, 0
+	for _, b := range blocks {
+		if b.Len == 0 {
+			continue
+		}
+		if maxLen == 0 || b.Len > maxLen {
+			maxLen = b.Len
+		}
+		if minLen == 0 || b.Len < minLen {
+			minLen = b.Len
+		}
+	}
+	if minLen == 0 {
+		return 1
+	}
+	return float64(maxLen) / float64(minLen)
+}

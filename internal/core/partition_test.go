@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionMatchesFig6a(t *testing.T) {
+	// 528 elements: all blocks 11 (ratio 1:1).
+	blocks := Partition(528, 48)
+	for i, b := range blocks {
+		if b.Len != 11 {
+			t.Fatalf("528: block %d len %d, want 11", i, b.Len)
+		}
+	}
+	// 552 elements: first block 35, rest 11 (~3.2:1).
+	blocks = Partition(552, 48)
+	if blocks[0].Len != 35 {
+		t.Fatalf("552: first block %d, want 35", blocks[0].Len)
+	}
+	for i := 1; i < 48; i++ {
+		if blocks[i].Len != 11 {
+			t.Fatalf("552: block %d len %d, want 11", i, blocks[i].Len)
+		}
+	}
+	if r := ImbalanceRatio(blocks); r < 3.1 || r > 3.3 {
+		t.Fatalf("552 ratio = %.2f, want ~3.2", r)
+	}
+	// 575 elements: first block 58 (~5.3:1).
+	blocks = Partition(575, 48)
+	if blocks[0].Len != 58 {
+		t.Fatalf("575: first block %d, want 58", blocks[0].Len)
+	}
+	if r := ImbalanceRatio(blocks); r < 5.2 || r > 5.4 {
+		t.Fatalf("575 ratio = %.2f, want ~5.3", r)
+	}
+}
+
+func TestPartitionBalancedMatchesFig6b(t *testing.T) {
+	// 552 elements: 24 blocks of 12 and 24 of 11 (~1.1:1).
+	blocks := PartitionBalanced(552, 48)
+	twelves, elevens := 0, 0
+	for _, b := range blocks {
+		switch b.Len {
+		case 12:
+			twelves++
+		case 11:
+			elevens++
+		default:
+			t.Fatalf("552 balanced: unexpected block length %d", b.Len)
+		}
+	}
+	if twelves != 24 || elevens != 24 {
+		t.Fatalf("552 balanced: %dx12 + %dx11, want 24+24", twelves, elevens)
+	}
+	if r := ImbalanceRatio(blocks); r > 12.0/11.0+1e-9 {
+		t.Fatalf("552 balanced ratio = %.3f, want <= 12/11", r)
+	}
+	// 575: 47 blocks of 12, one of 11.
+	blocks = PartitionBalanced(575, 48)
+	if ImbalanceRatio(blocks) > 12.0/11.0+1e-9 {
+		t.Fatalf("575 balanced ratio too high")
+	}
+}
+
+// Property: both partitionings cover the vector exactly - contiguous,
+// non-overlapping, total length n - and balanced block sizes differ by
+// at most one.
+func TestPartitionProperties(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw % 2000)
+		p := int(pRaw%63) + 1
+		for _, balanced := range []bool{false, true} {
+			blocks := PartitionFor(n, p, balanced)
+			if len(blocks) != p {
+				return false
+			}
+			off := 0
+			minLen, maxLen := 1<<30, 0
+			for _, b := range blocks {
+				if b.Off != off || b.Len < 0 {
+					return false
+				}
+				off += b.Len
+				if b.Len < minLen {
+					minLen = b.Len
+				}
+				if b.Len > maxLen {
+					maxLen = b.Len
+				}
+			}
+			if off != n {
+				return false
+			}
+			if balanced && maxLen-minLen > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: balancing never increases the largest block.
+func TestBalancedNeverWorse(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw % 5000)
+		p := int(pRaw%63) + 1
+		return maxBlockLen(PartitionBalanced(n, p)) <= maxBlockLen(Partition(n, p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	// n < p: standard puts everything in block 0; balanced spreads 1s.
+	std := Partition(5, 48)
+	if std[0].Len != 5 {
+		t.Fatalf("n<p standard: first block %d, want 5", std[0].Len)
+	}
+	bal := PartitionBalanced(5, 48)
+	ones := 0
+	for _, b := range bal {
+		if b.Len == 1 {
+			ones++
+		} else if b.Len != 0 {
+			t.Fatalf("n<p balanced: block length %d", b.Len)
+		}
+	}
+	if ones != 5 {
+		t.Fatalf("n<p balanced: %d unit blocks, want 5", ones)
+	}
+	// n == 0.
+	for _, b := range PartitionFor(0, 48, true) {
+		if b.Len != 0 {
+			t.Fatal("zero-length vector produced non-empty blocks")
+		}
+	}
+	// p == 1.
+	if got := Partition(100, 1); got[0].Len != 100 {
+		t.Fatal("single-block partition wrong")
+	}
+}
+
+func TestPartitionPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { Partition(10, 0) },
+		func() { Partition(-1, 4) },
+		func() { PartitionBalanced(10, -2) },
+		func() { PartitionBalanced(-5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid partition arguments")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestImbalanceRatioEdge(t *testing.T) {
+	if r := ImbalanceRatio(nil); r != 1 {
+		t.Fatalf("empty ratio = %v, want 1", r)
+	}
+	if r := ImbalanceRatio([]Block{{0, 0}, {0, 0}}); r != 1 {
+		t.Fatalf("all-empty ratio = %v, want 1", r)
+	}
+	if r := ImbalanceRatio([]Block{{0, 10}, {10, 2}, {12, 0}}); r != 5 {
+		t.Fatalf("ratio = %v, want 5", r)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// smallModel builds a chip with the given mesh geometry (the paper's
+// intro argues on-chip latencies enable "scaling of problems to higher
+// core counts"; the simulator supports arbitrary mesh sizes).
+func smallModel(w, h, perTile int) *timing.Model {
+	m := timing.Default()
+	m.MeshWidth = w
+	m.MeshHeight = h
+	m.CoresPerTile = perTile
+	return m
+}
+
+func TestCollectivesOnSmallerChips(t *testing.T) {
+	geometries := []struct{ w, h, per int }{
+		{1, 1, 2}, // 2 cores
+		{2, 2, 2}, // 8 cores
+		{3, 2, 2}, // 12 cores
+		{4, 3, 1}, // 12 cores, one per tile
+	}
+	for _, g := range geometries {
+		m := smallModel(g.w, g.h, g.per)
+		p := m.NumCores()
+		n := 100
+		chip := scc.New(m)
+		comm := rcce.NewComm(chip)
+		out := make([][]float64, p)
+		chip.Launch(func(c *scc.Core) {
+			x := NewCtx(comm.UE(c.ID), ConfigBalanced)
+			src := c.AllocF64(n)
+			dst := c.AllocF64(n)
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(c.ID) + float64(i)
+			}
+			c.WriteF64s(src, v)
+			x.Allreduce(src, dst, n, Sum)
+			got := make([]float64, n)
+			c.ReadF64s(dst, got)
+			out[c.ID] = got
+		})
+		if err := chip.Run(); err != nil {
+			t.Fatalf("%dx%dx%d: %v", g.w, g.h, g.per, err)
+		}
+		sumIDs := float64(p*(p-1)) / 2
+		for id := range out {
+			for i := 0; i < n; i++ {
+				want := sumIDs + float64(p*i)
+				if math.Abs(out[id][i]-want) > 1e-9 {
+					t.Fatalf("%dx%dx%d: core %d elem %d = %v, want %v",
+						g.w, g.h, g.per, id, i, out[id][i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceLatencyGrowsWithCoreCount(t *testing.T) {
+	// The ring algorithms are O(p) rounds: a 48-core Allreduce of the
+	// same vector must take longer than an 8-core one.
+	lat := func(m *timing.Model) simtime.Time {
+		chip := scc.New(m)
+		comm := rcce.NewComm(chip)
+		chip.Launch(func(c *scc.Core) {
+			x := NewCtx(comm.UE(c.ID), ConfigBalanced)
+			src := c.AllocF64(480)
+			dst := c.AllocF64(480)
+			x.Allreduce(src, dst, 480, Sum)
+		})
+		if err := chip.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return chip.Now()
+	}
+	small := lat(smallModel(2, 2, 2))
+	full := lat(timing.Default())
+	if full <= small {
+		t.Fatalf("48-core allreduce (%v) not slower than 8-core (%v)", full, small)
+	}
+}
+
+func TestAlltoallOnOddCoreCount(t *testing.T) {
+	// 9 cores (3x3x1): the pairwise schedule and the blocking ordering
+	// must stay deadlock-free for odd communicator sizes too.
+	m := smallModel(3, 3, 1)
+	p := m.NumCores()
+	nPer := 3
+	chip := scc.New(m)
+	comm := rcce.NewComm(chip)
+	out := make([][]float64, p)
+	chip.Launch(func(c *scc.Core) {
+		x := NewCtx(comm.UE(c.ID), ConfigBlocking)
+		src := c.AllocF64(p * nPer)
+		dst := c.AllocF64(p * nPer)
+		v := make([]float64, p*nPer)
+		for q := 0; q < p; q++ {
+			for i := 0; i < nPer; i++ {
+				v[q*nPer+i] = float64(c.ID)*100 + float64(q)
+			}
+		}
+		c.WriteF64s(src, v)
+		x.Alltoall(src, dst, nPer)
+		got := make([]float64, p*nPer)
+		c.ReadF64s(dst, got)
+		out[c.ID] = got
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < p; me++ {
+		for q := 0; q < p; q++ {
+			if out[me][q*nPer] != float64(q)*100+float64(me) {
+				t.Fatalf("core %d block %d wrong", me, q)
+			}
+		}
+	}
+}
+
+func TestGCMCStyleRingOnTinyChip(t *testing.T) {
+	// Two cores: the ring degenerates to a single pair; everything must
+	// still work (regression guard for mod arithmetic).
+	m := smallModel(1, 1, 2)
+	chip := scc.New(m)
+	comm := rcce.NewComm(chip)
+	var got float64
+	chip.Launch(func(c *scc.Core) {
+		x := NewCtx(comm.UE(c.ID), ConfigMPB)
+		src := c.AllocF64(96)
+		dst := c.AllocF64(96)
+		v := make([]float64, 96)
+		for i := range v {
+			v[i] = float64(c.ID + 1)
+		}
+		c.WriteF64s(src, v)
+		x.Allreduce(src, dst, 96, Sum)
+		if c.ID == 0 {
+			out := make([]float64, 1)
+			c.ReadF64s(dst, out)
+			got = out[0]
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("2-core allreduce sum = %v, want 3", got)
+	}
+}

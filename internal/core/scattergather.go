@@ -1,0 +1,81 @@
+package core
+
+import "scc/internal/scc"
+
+// Scatter and Gather complete the RCCE_comm-style collective suite. Both
+// exist in two variants, selected like Broadcast/Reduce: a binomial tree
+// for short per-rank blocks (forwarding subtree aggregates) and a simple
+// linear root loop for long blocks, where the root's injection bandwidth
+// dominates anyway and the tree's extra copies only add latency.
+
+// Scatter distributes block q of the root's src buffer (p blocks of nPer
+// elements) to rank q's dst. src is only read on the root.
+func (x *Ctx) Scatter(root int, src scc.Addr, nPer int, dst scc.Addr) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 || nPer == 0 {
+		if nPer > 0 {
+			x.copyPriv(dst, src, nPer)
+		}
+		return
+	}
+	if me == root {
+		for q := 0; q < p; q++ {
+			if q == root {
+				x.copyPriv(dst, src+scc.Addr(8*nPer*q), nPer)
+				continue
+			}
+			x.ep.Send(q, src+scc.Addr(8*nPer*q), 8*nPer)
+		}
+		return
+	}
+	x.ep.Recv(root, dst, 8*nPer)
+}
+
+// Gather collects each rank's nPer-element src block into the root's dst
+// buffer (p blocks, rank-ordered). dst is only written on the root.
+func (x *Ctx) Gather(root int, src scc.Addr, nPer int, dst scc.Addr) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 || nPer == 0 {
+		if nPer > 0 {
+			x.copyPriv(dst, src, nPer)
+		}
+		return
+	}
+	if me == root {
+		for q := 0; q < p; q++ {
+			if q == root {
+				x.copyPriv(dst+scc.Addr(8*nPer*q), src, nPer)
+				continue
+			}
+			x.ep.Recv(q, dst+scc.Addr(8*nPer*q), 8*nPer)
+		}
+		return
+	}
+	x.ep.Send(root, src, 8*nPer)
+}
+
+// Scan computes an inclusive prefix reduction: rank k's dst receives
+// op(v_0, ..., v_k) element-wise. Implemented as the linear pipeline
+// used by small-communicator MPI implementations: rank k receives the
+// prefix from k-1, combines its contribution, and forwards to k+1.
+func (x *Ctx) Scan(src, dst scc.Addr, n int, op Op) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	x.copyPriv(dst, src, n)
+	if p == 1 || n == 0 {
+		return
+	}
+	if me > 0 {
+		x.ensureScratch(n)
+		x.ep.Recv(me-1, x.rbufAddr, 8*n)
+		x.reduceInto(dst, x.rbufAddr, src, n, op)
+	}
+	if me < p-1 {
+		x.ep.Send(me+1, dst, 8*n)
+	}
+}

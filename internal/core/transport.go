@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"scc/internal/ircce"
+	"scc/internal/lwnb"
+	"scc/internal/rcce"
+	"scc/internal/scc"
+)
+
+// TransportKind selects the point-to-point layer under the collectives.
+type TransportKind int
+
+// Available transports, in the order the paper introduces them.
+const (
+	// TransportBlocking is plain RCCE: blocking send/receive with the
+	// odd-even ordering in exchanges (the paper's baseline).
+	TransportBlocking TransportKind = iota
+	// TransportIRCCE uses iRCCE's non-blocking primitives (Sec. IV-A).
+	TransportIRCCE
+	// TransportLightweight uses the paper's lightweight non-blocking
+	// primitives (Sec. IV-B).
+	TransportLightweight
+)
+
+// String names the transport like the paper's figure legends.
+func (k TransportKind) String() string {
+	switch k {
+	case TransportBlocking:
+		return "blocking"
+	case TransportIRCCE:
+		return "iRCCE"
+	case TransportLightweight:
+		return "lightweight non-blocking"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", int(k))
+	}
+}
+
+// Endpoint is the per-core transport instance the collectives call into.
+type Endpoint interface {
+	// Send transmits nBytes of private memory to UE `to`, completing
+	// before return.
+	Send(to int, addr scc.Addr, nBytes int)
+	// Recv receives nBytes from UE `from` into private memory.
+	Recv(from int, addr scc.Addr, nBytes int)
+	// Exchange performs one ring/pairwise round: send to `to` and
+	// receive from `from`, completing both before returning. With a
+	// blocking transport the two legs are ordered odd-even (Fig. 4);
+	// with non-blocking transports both are posted at once (Fig. 5).
+	Exchange(to int, sendAddr scc.Addr, sendBytes int, from int, recvAddr scc.Addr, recvBytes int)
+	// ExchangePair exchanges with a single symmetric partner (both
+	// directions with the same peer). The blocking transport orders the
+	// legs by rank - the odd-even rule is parity-based and would
+	// deadlock when symmetric partners share parity.
+	ExchangePair(peer int, sendAddr scc.Addr, sendBytes int, recvAddr scc.Addr, recvBytes int)
+}
+
+// NewEndpoint builds the endpoint of the given kind for one UE.
+func NewEndpoint(ue *rcce.UE, kind TransportKind) Endpoint {
+	switch kind {
+	case TransportBlocking:
+		return &blockingEP{ue: ue}
+	case TransportIRCCE:
+		return &ircceEP{lib: ircce.New(ue)}
+	case TransportLightweight:
+		return &lwEP{lib: lwnb.New(ue)}
+	default:
+		panic(fmt.Sprintf("core: unknown transport kind %d", kind))
+	}
+}
+
+// blockingEP drives plain RCCE. Exchange must order its two blocking
+// calls so that the cyclic pattern cannot deadlock: odd cores receive
+// first, even cores send first (the RCCE_comm odd-even scheme whose
+// barrier-like over-synchronization Sec. IV-A identifies).
+type blockingEP struct {
+	ue *rcce.UE
+}
+
+func (e *blockingEP) Send(to int, addr scc.Addr, n int)   { e.ue.Send(to, addr, n) }
+func (e *blockingEP) Recv(from int, addr scc.Addr, n int) { e.ue.Recv(from, addr, n) }
+
+func (e *blockingEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) {
+	if e.ue.ID()%2 == 0 {
+		e.ue.Send(to, sAddr, sBytes)
+		e.ue.Recv(from, rAddr, rBytes)
+	} else {
+		e.ue.Recv(from, rAddr, rBytes)
+		e.ue.Send(to, sAddr, sBytes)
+	}
+}
+
+func (e *blockingEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) {
+	if e.ue.ID() < peer {
+		e.ue.Send(peer, sAddr, sBytes)
+		e.ue.Recv(peer, rAddr, rBytes)
+	} else {
+		e.ue.Recv(peer, rAddr, rBytes)
+		e.ue.Send(peer, sAddr, sBytes)
+	}
+}
+
+// ircceEP drives the iRCCE library: both legs posted, then waited.
+type ircceEP struct {
+	lib *ircce.Lib
+}
+
+func (e *ircceEP) Send(to int, addr scc.Addr, n int)   { e.lib.Wait(e.lib.ISend(to, addr, n)) }
+func (e *ircceEP) Recv(from int, addr scc.Addr, n int) { e.lib.Wait(e.lib.IRecv(from, addr, n)) }
+
+func (e *ircceEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) {
+	s := e.lib.ISend(to, sAddr, sBytes)
+	r := e.lib.IRecv(from, rAddr, rBytes)
+	e.lib.WaitAll(s, r)
+}
+
+func (e *ircceEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) {
+	e.Exchange(peer, sAddr, sBytes, peer, rAddr, rBytes)
+}
+
+// lwEP drives the lightweight non-blocking library.
+type lwEP struct {
+	lib *lwnb.Lib
+}
+
+func (e *lwEP) Send(to int, addr scc.Addr, n int)   { e.lib.Wait(e.lib.ISend(to, addr, n)) }
+func (e *lwEP) Recv(from int, addr scc.Addr, n int) { e.lib.Wait(e.lib.IRecv(from, addr, n)) }
+
+func (e *lwEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) {
+	s := e.lib.ISend(to, sAddr, sBytes)
+	r := e.lib.IRecv(from, rAddr, rBytes)
+	e.lib.WaitAll(s, r)
+}
+
+func (e *lwEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) {
+	e.Exchange(peer, sAddr, sBytes, peer, rAddr, rBytes)
+}

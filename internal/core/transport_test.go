@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+func TestTransportKindStrings(t *testing.T) {
+	want := map[TransportKind]string{
+		TransportBlocking:    "blocking",
+		TransportIRCCE:       "iRCCE",
+		TransportLightweight: "lightweight non-blocking",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), w)
+		}
+	}
+	if TransportKind(99).String() == "" {
+		t.Error("unknown kind must still stringify")
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	cases := map[string]Config{
+		"blocking":                           ConfigBlocking,
+		"iRCCE":                              ConfigIRCCE,
+		"lightweight non-blocking":           ConfigLightweight,
+		"lightweight non-blocking, balanced": ConfigBalanced,
+		"MPB-based Allreduce":                ConfigMPB,
+	}
+	for want, cfg := range cases {
+		if cfg.Name() != want {
+			t.Errorf("Name() = %q, want %q", cfg.Name(), want)
+		}
+	}
+	if len(Configs()) != 5 {
+		t.Fatalf("Configs() returned %d entries, want 5", len(Configs()))
+	}
+}
+
+func TestNewEndpointUnknownKindPanics(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown transport kind")
+		}
+	}()
+	NewEndpoint(comm.UE(0), TransportKind(42))
+}
+
+// exchangeRing runs one full ring round on every core with the given
+// transport and returns the end-to-end time plus the received data.
+func exchangeRing(t *testing.T, kind TransportKind, n int) (simtime.Time, [][]float64) {
+	t.Helper()
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	out := make([][]float64, 48)
+	chip.Launch(func(c *scc.Core) {
+		ue := comm.UE(c.ID)
+		ep := NewEndpoint(ue, kind)
+		p := ue.NumUEs()
+		right, left := (c.ID+1)%p, (c.ID+p-1)%p
+		src := c.AllocF64(n)
+		dst := c.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(c.ID)*100 + float64(i)
+		}
+		c.WriteF64s(src, v)
+		ep.Exchange(right, src, 8*n, left, dst, 8*n)
+		got := make([]float64, n)
+		c.ReadF64s(dst, got)
+		out[c.ID] = got
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatalf("%v: %v", kind, err)
+	}
+	return chip.Now(), out
+}
+
+func TestExchangeCorrectAcrossTransports(t *testing.T) {
+	for _, kind := range []TransportKind{TransportBlocking, TransportIRCCE, TransportLightweight} {
+		_, out := exchangeRing(t, kind, 40)
+		for me := 0; me < 48; me++ {
+			left := (me + 47) % 48
+			for i := 0; i < 40; i++ {
+				want := float64(left)*100 + float64(i)
+				if out[me][i] != want {
+					t.Fatalf("%v: core %d elem %d = %v, want %v", kind, me, i, out[me][i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockingExchangeSlowerThanNonBlocking(t *testing.T) {
+	// The odd-even double phase makes the blocking ring round strictly
+	// slower than the overlapped non-blocking one (the Fig. 4 vs Fig. 5
+	// difference).
+	blk, _ := exchangeRing(t, TransportBlocking, 64)
+	lw, _ := exchangeRing(t, TransportLightweight, 64)
+	if lw >= blk {
+		t.Fatalf("lightweight round (%v) not faster than blocking (%v)", lw, blk)
+	}
+}
+
+func TestExchangePairSymmetric(t *testing.T) {
+	// Pairwise symmetric exchange between same-parity partners (the case
+	// odd-even cannot handle) must complete under every transport.
+	for _, kind := range []TransportKind{TransportBlocking, TransportIRCCE, TransportLightweight} {
+		chip := scc.New(timing.Default())
+		comm := rcce.NewComm(chip)
+		got := make([]float64, 2)
+		// Cores 2 and 4: same parity.
+		for _, pair := range [][2]int{{2, 4}} {
+			a, b := pair[0], pair[1]
+			chip.LaunchOne(a, func(c *scc.Core) {
+				ue := comm.UE(a)
+				ep := NewEndpoint(ue, kind)
+				src := c.AllocF64(1)
+				dst := c.AllocF64(1)
+				c.WriteF64s(src, []float64{float64(a)})
+				ep.ExchangePair(b, src, 8, dst, 8)
+				v := make([]float64, 1)
+				c.ReadF64s(dst, v)
+				got[0] = v[0]
+			})
+			chip.LaunchOne(b, func(c *scc.Core) {
+				ue := comm.UE(b)
+				ep := NewEndpoint(ue, kind)
+				src := c.AllocF64(1)
+				dst := c.AllocF64(1)
+				c.WriteF64s(src, []float64{float64(b)})
+				ep.ExchangePair(a, src, 8, dst, 8)
+				v := make([]float64, 1)
+				c.ReadF64s(dst, v)
+				got[1] = v[0]
+			})
+		}
+		if err := chip.Run(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got[0] != 4 || got[1] != 2 {
+			t.Fatalf("%v: pair exchange wrong: %v", kind, got)
+		}
+	}
+}

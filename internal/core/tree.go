@@ -1,0 +1,94 @@
+package core
+
+import "scc/internal/scc"
+
+// Short-message variants. RCCE_comm "contains the most complete suite of
+// collective operations currently available for the SCC, including
+// variants for different message sizes" (Sec. III): for vectors too
+// short to amortize the 47-round scatter/ring structure, binomial trees
+// ([8], [9]) finish in ceil(log2 p) levels. Broadcast and Reduce select
+// the tree below the threshold; above it they use the block-partitioned
+// long-message algorithms of Sec. IV.
+
+// shortMessageThresholdBytes separates the tree variants from the
+// scatter/ring variants. Below ~one cache line per block the ring's
+// per-round handshakes dominate any bandwidth advantage.
+const shortMessageThresholdBytes = 512
+
+// BroadcastTree distributes n float64 values from root along a binomial
+// tree, regardless of size.
+func (x *Ctx) BroadcastTree(root int, addr scc.Addr, n int) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 || n == 0 {
+		return
+	}
+	vrank := mod(me-root, p)
+	if vrank != 0 {
+		// Find my lowest set bit: the parent holds the rest.
+		mask := 1
+		for vrank&mask == 0 {
+			mask <<= 1
+		}
+		parent := mod(root+(vrank&^mask), p)
+		x.ep.Recv(parent, addr, 8*n)
+		// Forward to my subtree (bits below my lowest set bit).
+		for mask >>= 1; mask > 0; mask >>= 1 {
+			if child := vrank | mask; child < p {
+				x.ep.Send(mod(root+child, p), addr, 8*n)
+			}
+		}
+		return
+	}
+	// Root: highest subtree first.
+	mask := 1
+	for mask < p {
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if mask < p {
+			x.ep.Send(mod(root+mask, p), addr, 8*n)
+		}
+	}
+}
+
+// ReduceTree reduces to root along a binomial tree: each inner node
+// combines its children's partials before forwarding one message up.
+// dst is only meaningful on the root; src is left untouched.
+func (x *Ctx) ReduceTree(root int, src, dst scc.Addr, n int, op Op) {
+	ue := x.ue
+	core := ue.Core()
+	p := ue.NumUEs()
+	me := ue.ID()
+	if p == 1 {
+		x.copyPriv(dst, src, n)
+		return
+	}
+	vrank := mod(me-root, p)
+	x.ensureScratch(n)
+	acc := x.curAddr
+	x.copyPriv(acc, src, n)
+
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			parent := mod(root+(vrank&^mask), p)
+			x.ep.Send(parent, acc, 8*n)
+			return
+		}
+		if child := vrank | mask; child < p {
+			x.ep.Recv(mod(root+child, p), x.rbufAddr, 8*n)
+			x.reduceInto(acc, acc, x.rbufAddr, n, op)
+		}
+		mask <<= 1
+	}
+	_ = core
+	x.copyPriv(dst, acc, n)
+}
+
+// shortMessage reports whether the tree variants should handle a vector
+// of n float64 values.
+func (x *Ctx) shortMessage(n int) bool {
+	return 8*n < shortMessageThresholdBytes
+}

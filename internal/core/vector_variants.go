@@ -1,0 +1,112 @@
+package core
+
+import "scc/internal/scc"
+
+// Variable-count collectives (the MPI "v" variants). RCCE_comm-era
+// applications with irregular decompositions need per-rank counts; the
+// ring and pairwise schedules generalize directly, reusing the Block
+// machinery of the partitioned collectives.
+
+// validateBlocks panics if the per-rank layout is malformed.
+func validateBlocks(fn string, blocks []Block, p int) {
+	if len(blocks) != p {
+		panic("core: " + fn + ": need exactly one block per rank")
+	}
+	for i, b := range blocks {
+		if b.Len < 0 || b.Off < 0 {
+			panic("core: " + fn + ": negative block geometry")
+		}
+		_ = i
+	}
+}
+
+// AllgatherV concatenates variable-sized contributions: rank q owns
+// blocks[q] of the destination layout and provides blocks[q].Len
+// elements at src. After the call every rank's dst holds all blocks at
+// their offsets.
+func (x *Ctx) AllgatherV(src scc.Addr, blocks []Block, dst scc.Addr) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	validateBlocks("AllgatherV", blocks, p)
+	x.copyPriv(dst+scc.Addr(8*blocks[me].Off), src, blocks[me].Len)
+	x.allgatherBlocks(dst, blocks)
+}
+
+// AlltoallV performs a complete exchange with per-pair counts:
+// sendBlocks[q] describes the slice of src destined for rank q and
+// recvBlocks[q] the slice of dst receiving from rank q. Lengths must
+// agree pairwise across ranks (sendBlocks[q].Len here ==
+// recvBlocks[me].Len there); the simulation deadlock detector flags
+// violations. Uses the same symmetric pairwise schedule as Alltoall.
+func (x *Ctx) AlltoallV(src scc.Addr, sendBlocks []Block, dst scc.Addr, recvBlocks []Block) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	validateBlocks("AlltoallV", sendBlocks, p)
+	validateBlocks("AlltoallV", recvBlocks, p)
+	for r := 0; r < p; r++ {
+		partner := mod(r-me, p)
+		sb, rb := sendBlocks[partner], recvBlocks[partner]
+		sAddr := src + scc.Addr(8*sb.Off)
+		rAddr := dst + scc.Addr(8*rb.Off)
+		if partner == me {
+			x.copyPriv(rAddr, sAddr, min(sb.Len, rb.Len))
+			continue
+		}
+		if sb.Len == 0 && rb.Len == 0 {
+			continue
+		}
+		x.ep.ExchangePair(partner, sAddr, 8*sb.Len, rAddr, 8*rb.Len)
+	}
+}
+
+// GatherV collects variable-sized blocks to the root: rank q sends
+// blocks[q].Len elements from src, landing at blocks[q].Off in the
+// root's dst.
+func (x *Ctx) GatherV(root int, src scc.Addr, blocks []Block, dst scc.Addr) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	validateBlocks("GatherV", blocks, p)
+	if me == root {
+		for q := 0; q < p; q++ {
+			if q == root {
+				x.copyPriv(dst+scc.Addr(8*blocks[q].Off), src, blocks[q].Len)
+				continue
+			}
+			if blocks[q].Len > 0 {
+				x.ep.Recv(q, dst+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+			}
+		}
+		return
+	}
+	if blocks[me].Len > 0 {
+		x.ep.Send(root, src, 8*blocks[me].Len)
+	}
+}
+
+// ScatterV distributes variable-sized blocks from the root: rank q
+// receives blocks[q].Len elements into dst, taken from blocks[q].Off of
+// the root's src.
+func (x *Ctx) ScatterV(root int, src scc.Addr, blocks []Block, dst scc.Addr) {
+	ue := x.ue
+	p := ue.NumUEs()
+	me := ue.ID()
+	validateBlocks("ScatterV", blocks, p)
+	if me == root {
+		for q := 0; q < p; q++ {
+			if q == root {
+				x.copyPriv(dst, src+scc.Addr(8*blocks[q].Off), blocks[q].Len)
+				continue
+			}
+			if blocks[q].Len > 0 {
+				x.ep.Send(q, src+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+			}
+		}
+		return
+	}
+	if blocks[me].Len > 0 {
+		x.ep.Recv(root, dst, 8*blocks[me].Len)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/timing"
+)
+
+// irregularBlocks builds a contiguous layout with random per-rank sizes.
+func irregularBlocks(p int, rng *rand.Rand, maxLen int) []Block {
+	blocks := make([]Block, p)
+	off := 0
+	for i := range blocks {
+		l := rng.Intn(maxLen + 1)
+		blocks[i] = Block{Off: off, Len: l}
+		off += l
+	}
+	return blocks
+}
+
+func totalLen(blocks []Block) int {
+	n := 0
+	for _, b := range blocks {
+		n += b.Len
+	}
+	return n
+}
+
+func TestAllgatherVIrregular(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	blocks := irregularBlocks(48, rng, 9)
+	n := totalLen(blocks)
+	out := make([][]float64, 48)
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	chip.Launch(func(c *scc.Core) {
+		x := NewCtx(comm.UE(c.ID), ConfigLightweight)
+		b := blocks[c.ID]
+		src := c.AllocF64(b.Len + 1)
+		dst := c.AllocF64(n)
+		v := make([]float64, b.Len)
+		for i := range v {
+			v[i] = float64(c.ID)*100 + float64(i)
+		}
+		c.WriteF64s(src, v)
+		x.AllgatherV(src, blocks, dst)
+		got := make([]float64, n)
+		c.ReadF64s(dst, got)
+		out[c.ID] = got
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < 48; me++ {
+		for q, b := range blocks {
+			for i := 0; i < b.Len; i++ {
+				want := float64(q)*100 + float64(i)
+				if out[me][b.Off+i] != want {
+					t.Fatalf("core %d block %d elem %d = %v, want %v",
+						me, q, i, out[me][b.Off+i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallVIrregular(t *testing.T) {
+	// sendBlocks[me][q].Len must equal recvBlocks[q][me].Len; build a
+	// symmetric random count matrix counts[s][d].
+	p := 48
+	rng := rand.New(rand.NewSource(12))
+	counts := make([][]int, p)
+	for s := range counts {
+		counts[s] = make([]int, p)
+		for d := range counts[s] {
+			counts[s][d] = rng.Intn(4)
+		}
+	}
+	layout := func(row []int) []Block {
+		blocks := make([]Block, p)
+		off := 0
+		for i, l := range row {
+			blocks[i] = Block{Off: off, Len: l}
+			off += l
+		}
+		return blocks
+	}
+	out := make([][]float64, p)
+	recvLayouts := make([][]Block, p)
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	chip.Launch(func(c *scc.Core) {
+		me := c.ID
+		x := NewCtx(comm.UE(me), ConfigLightweight)
+		sendBlocks := layout(counts[me])
+		recvCounts := make([]int, p)
+		for q := 0; q < p; q++ {
+			recvCounts[q] = counts[q][me]
+		}
+		recvBlocks := layout(recvCounts)
+		recvLayouts[me] = recvBlocks
+
+		ns, nr := totalLen(sendBlocks), totalLen(recvBlocks)
+		src := c.AllocF64(ns + 1)
+		dst := c.AllocF64(nr + 1)
+		v := make([]float64, ns)
+		for q, b := range sendBlocks {
+			for i := 0; i < b.Len; i++ {
+				v[b.Off+i] = float64(me)*1000 + float64(q)*10 + float64(i)
+			}
+		}
+		c.WriteF64s(src, v)
+		x.AlltoallV(src, sendBlocks, dst, recvBlocks)
+		got := make([]float64, nr)
+		c.ReadF64s(dst, got)
+		out[me] = got
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < p; me++ {
+		for q, b := range recvLayouts[me] {
+			for i := 0; i < b.Len; i++ {
+				want := float64(q)*1000 + float64(me)*10 + float64(i)
+				if math.Abs(out[me][b.Off+i]-want) > 1e-12 {
+					t.Fatalf("core %d from %d elem %d = %v, want %v",
+						me, q, i, out[me][b.Off+i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherVScatterVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	blocks := irregularBlocks(48, rng, 7)
+	n := totalLen(blocks)
+	var before, after []float64
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	chip.Launch(func(c *scc.Core) {
+		x := NewCtx(comm.UE(c.ID), ConfigBalanced)
+		b := blocks[c.ID]
+		full := c.AllocF64(n + 1)
+		mine := c.AllocF64(b.Len + 1)
+		back := c.AllocF64(n + 1)
+		if c.ID == 0 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(i) + 0.25
+			}
+			c.WriteF64s(full, v)
+			before = v
+		}
+		x.ScatterV(0, full, blocks, mine)
+		x.GatherV(0, mine, blocks, back)
+		if c.ID == 0 {
+			after = make([]float64, n)
+			c.ReadF64s(back, after)
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("round trip corrupted at %d", i)
+		}
+	}
+}
+
+func TestVectorVariantsValidate(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	chip.LaunchOne(0, func(c *scc.Core) {
+		x := NewCtx(comm.UE(0), ConfigLightweight)
+		src := c.AllocF64(4)
+		dst := c.AllocF64(4)
+		x.AllgatherV(src, []Block{{0, 1}}, dst) // wrong count: must panic
+	})
+	if err := chip.Run(); err == nil {
+		t.Fatal("malformed block layout should fail the simulation")
+	}
+}

@@ -1,0 +1,136 @@
+package gcmc
+
+import "math"
+
+// Observables sampled along the Markov chain - the "thermodynamic
+// properties like the internal energy or pressure of a gas or fluid"
+// the paper's application exists to compute (Sec. V-B). Sampling happens
+// after each cycle; averages are over the sampled portion of the chain.
+type Observables struct {
+	Samples int
+	// MeanEnergy is the running average of the total energy.
+	MeanEnergy float64
+	// MeanN is the running average particle count (the grand-canonical
+	// ensemble's central observable).
+	MeanN float64
+	// MeanDensity is MeanN divided by the box volume.
+	MeanDensity float64
+	// MeanVirialPressure is the pressure estimated from the virial of
+	// the short-range forces plus the ideal-gas term:
+	//   P = rho/beta + <W>/(3V)
+	MeanVirialPressure float64
+
+	sumE, sumN, sumW float64
+}
+
+// sample records the current configuration's contribution. W is the
+// short-range virial (sum over pairs of r . F).
+func (o *Observables) sample(energy float64, n int, virial, vol, beta float64) {
+	o.Samples++
+	o.sumE += energy
+	o.sumN += float64(n)
+	o.sumW += virial
+	s := float64(o.Samples)
+	o.MeanEnergy = o.sumE / s
+	o.MeanN = o.sumN / s
+	o.MeanDensity = o.MeanN / vol
+	o.MeanVirialPressure = o.MeanDensity/beta + o.sumW/s/(3*vol)
+}
+
+// pairVirial computes r.F for one atom pair: for the Lennard-Jones part
+// r.F = 24(2 inv12 - inv6); the screened-Coulomb contribution uses
+// -r dU/dr of q_i q_j erfc(alpha r)/r.
+func (s *Simulation) pairVirial(pi, ai, pj, aj int) float64 {
+	ri := s.atomPos(pi, ai)
+	rj := s.atomPos(pj, aj)
+	var r2 float64
+	for d := 0; d < 3; d++ {
+		dd := minImage(ri[d]-rj[d], s.P.BoxSide)
+		r2 += dd * dd
+	}
+	rc := s.P.BoxSide / 2
+	if r2 >= rc*rc {
+		return 0
+	}
+	if r2 < 0.6 {
+		r2 = 0.6
+	}
+	inv6 := 1 / (r2 * r2 * r2)
+	ljVirial := 24 * (2*inv6*inv6 - inv6)
+	r := math.Sqrt(r2)
+	qq := s.charges[ai] * s.charges[aj]
+	a := s.P.Alpha
+	// -r dU/dr for U = qq erfc(a r)/r:
+	coulVirial := qq * (math.Erfc(a*r)/r + 2*a/math.SqrtPi*math.Exp(-a*a*r2))
+	return ljVirial + coulVirial
+}
+
+// shortVirial sums the virial over this core's local particle pairs and
+// combines it across cores with a one-element Allreduce (the same
+// communication signature as the short-range energy).
+func (s *Simulation) shortVirial() float64 {
+	m := s.core.Chip().Model
+	na := s.P.AtomsPerParticle
+	local := 0.0
+	pairs := 0
+	for i := range s.particles {
+		if !s.isLocal(i) {
+			continue
+		}
+		for j := range s.particles {
+			if j == i {
+				continue
+			}
+			for a := 0; a < na; a++ {
+				for b := 0; b < na; b++ {
+					local += s.pairVirial(i, a, j, b)
+					pairs++
+				}
+			}
+		}
+	}
+	local /= 2
+	s.core.ComputeCycles(m.FlopCoreCycles * int64(50*pairs))
+	s.core.WriteF64s(s.oneSrc, []float64{local})
+	s.comm.Allreduce(s.oneSrc, s.oneDst, 1)
+	out := make([]float64, 1)
+	s.core.ReadF64s(s.oneDst, out)
+	return out[0]
+}
+
+// RunSampled is Run plus observable sampling every sampleEvery cycles
+// (after a warm-up of warmup cycles). It returns the result and the
+// collected observables.
+func (s *Simulation) RunSampled(warmup, sampleEvery int) (Result, Observables) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	c := s.core
+	start := c.Now()
+	prof0 := c.Prof()
+	var obs Observables
+
+	s.comm.Barrier()
+	s.enOld = s.totalEnergy()
+	vol := s.P.BoxSide * s.P.BoxSide * s.P.BoxSide
+
+	for cycle := 0; cycle < s.P.Cycles; cycle++ {
+		s.step()
+		if cycle >= warmup && (cycle-warmup)%sampleEvery == 0 {
+			w := s.shortVirial()
+			obs.sample(s.enOld, len(s.particles), w, vol, s.P.Beta)
+		}
+	}
+	s.comm.Barrier()
+
+	prof1 := c.Prof()
+	return Result{
+		FinalEnergy:   s.enOld,
+		FinalN:        len(s.particles),
+		Stats:         s.stats,
+		WallTime:      c.Now() - start,
+		ComputeTime:   prof1.Compute - prof0.Compute,
+		FlagWaitTime:  prof1.FlagWait - prof0.FlagWait,
+		CommAllreduce: s.allreduce,
+	}, obs
+}

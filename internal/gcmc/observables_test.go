@@ -1,0 +1,112 @@
+package gcmc
+
+import (
+	"math"
+	"testing"
+
+	"scc/internal/core"
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/timing"
+)
+
+func TestRunSampledObservables(t *testing.T) {
+	p := testParams()
+	p.Cycles = 8
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	results := make([]Result, 48)
+	obses := make([]Observables, 48)
+	chip.Launch(func(c *scc.Core) {
+		ctx := core.NewCtx(comm.UE(c.ID), core.ConfigBalanced)
+		sim := New(c, CoreStack{Ctx: ctx}, comm.NumUEs(), p)
+		results[c.ID], obses[c.ID] = sim.RunSampled(2, 2)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	o := obses[0]
+	if o.Samples != 3 { // cycles 2,4,6
+		t.Fatalf("samples = %d, want 3", o.Samples)
+	}
+	if math.IsNaN(o.MeanEnergy) || math.IsInf(o.MeanEnergy, 0) {
+		t.Fatalf("mean energy not finite: %v", o.MeanEnergy)
+	}
+	if o.MeanN <= 0 {
+		t.Fatalf("mean N = %v", o.MeanN)
+	}
+	vol := p.BoxSide * p.BoxSide * p.BoxSide
+	if math.Abs(o.MeanDensity-o.MeanN/vol) > 1e-12 {
+		t.Fatalf("density inconsistent: %v vs %v", o.MeanDensity, o.MeanN/vol)
+	}
+	if math.IsNaN(o.MeanVirialPressure) || math.IsInf(o.MeanVirialPressure, 0) {
+		t.Fatalf("pressure not finite: %v", o.MeanVirialPressure)
+	}
+	// All cores must agree (replicated physics).
+	for id := 1; id < 48; id++ {
+		if obses[id] != o {
+			t.Fatalf("core %d observables diverged", id)
+		}
+	}
+}
+
+func TestVirialSymmetry(t *testing.T) {
+	p := testParams()
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	ok := true
+	chip.LaunchOne(0, func(c *scc.Core) {
+		ctx := core.NewCtx(comm.UE(0), core.ConfigBalanced)
+		sim := New(c, CoreStack{Ctx: ctx}, 1, p) // single-core communicator view
+		// pairVirial must be symmetric under particle exchange.
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 6; j++ {
+				a := sim.pairVirial(i, 0, j, 1)
+				b := sim.pairVirial(j, 1, i, 0)
+				if math.Abs(a-b) > 1e-12 {
+					ok = false
+				}
+			}
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("pair virial not symmetric")
+	}
+}
+
+func TestIdealGasPressureLimit(t *testing.T) {
+	// With all charges zero and particles far apart (huge box), the
+	// virial term vanishes and the pressure must approach rho/beta.
+	p := testParams()
+	p.NumParticles = 10
+	p.BoxSide = 200
+	p.Cycles = 2
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	var obs Observables
+	chip.Launch(func(c *scc.Core) {
+		ctx := core.NewCtx(comm.UE(c.ID), core.ConfigBalanced)
+		sim := New(c, CoreStack{Ctx: ctx}, comm.NumUEs(), p)
+		for i := range sim.charges {
+			sim.charges[i] = 0
+		}
+		_, o := sim.RunSampled(0, 1)
+		if c.ID == 0 {
+			obs = o
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ideal := obs.MeanDensity / p.Beta
+	if ideal == 0 {
+		t.Fatal("degenerate ideal pressure")
+	}
+	if rel := math.Abs(obs.MeanVirialPressure-ideal) / ideal; rel > 0.05 {
+		t.Fatalf("dilute pressure %v deviates %.1f%% from ideal %v",
+			obs.MeanVirialPressure, 100*rel, ideal)
+	}
+}

@@ -1,0 +1,62 @@
+package ircce
+
+import (
+	"scc/internal/rcce"
+	"scc/internal/scc"
+)
+
+// The convenience features whose management cost the paper singles out
+// (Sec. IV-B): receiving from an arbitrary source, probing, and request
+// cancellation. They are exactly the features the lightweight library
+// refuses to offer.
+
+// RecvAny receives nBytes from whichever peer sends first and returns
+// the source rank. It scans all possible senders' flags (one wait over
+// 47 flags), which is why plain RCCE insists the source be known "in
+// advance".
+func (l *Lib) RecvAny(addr scc.Addr, nBytes int) int {
+	ue := l.ue
+	c := ue.Core()
+	comm := ue.Comm()
+	// Arbitrary-source matching costs an extra list/queue pass.
+	c.ComputeCycles(l.costs.Post)
+
+	flags := make([]int, 0, comm.NumUEs()-1)
+	srcs := make([]int, 0, comm.NumUEs()-1)
+	for p := 0; p < comm.NumUEs(); p++ {
+		if p == ue.ID() {
+			continue
+		}
+		flags = append(flags, comm.FlagAddr(ue.ID(), p, rcce.FlagSent))
+		srcs = append(srcs, p)
+	}
+	idx := c.WaitFlagAny(flags, 1)
+	src := srcs[idx]
+	r := l.IRecv(src, addr, nBytes)
+	l.Wait(r)
+	return src
+}
+
+// Probe reports whether a message from src is already staged (its sent
+// flag raised), without consuming anything.
+func (l *Lib) Probe(src int) bool {
+	ue := l.ue
+	c := ue.Core()
+	c.ComputeCycles(l.costs.Post / 2)
+	return c.ProbeFlag(ue.Comm().FlagAddr(ue.ID(), src, rcce.FlagSent)) == 1
+}
+
+// Cancel attempts to abort a pending request. Receives that have not
+// consumed any chunk can be cancelled; sends cannot (their first chunk
+// is already announced to the receiver), matching iRCCE's semantics.
+// It reports whether the request was cancelled, and unlinks it on
+// success.
+func (l *Lib) Cancel(r *rcce.Request) bool {
+	l.ue.Core().ComputeCycles(l.costs.Wait) // list search + state check
+	if r.Done() || r.Kind() == rcce.ReqSend || r.Started() {
+		return false
+	}
+	r.Abort()
+	l.remove(r)
+	return true
+}

@@ -1,0 +1,136 @@
+package ircce
+
+import (
+	"testing"
+
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+
+	"scc/internal/rcce"
+)
+
+func TestRecvAnyPicksUpFromUnknownSender(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	const sender = 29
+	var gotSrc int
+	var gotVal float64
+	chip.LaunchOne(sender, func(c *scc.Core) {
+		lib := New(comm.UE(sender))
+		a := c.AllocF64(4)
+		c.WriteF64s(a, []float64{42, 0, 0, 0})
+		c.Compute(simtime.Microseconds(25))
+		lib.Wait(lib.ISend(0, a, 32))
+	})
+	chip.LaunchOne(0, func(c *scc.Core) {
+		lib := New(comm.UE(0))
+		a := c.AllocF64(4)
+		gotSrc = lib.RecvAny(a, 32)
+		buf := make([]float64, 4)
+		c.ReadF64s(a, buf)
+		gotVal = buf[0]
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotSrc != sender || gotVal != 42 {
+		t.Fatalf("RecvAny got src=%d val=%v, want %d/42", gotSrc, gotVal, sender)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	probedEarly, probedLate := true, false
+	chip.LaunchOne(0, func(c *scc.Core) {
+		lib := New(comm.UE(0))
+		probedEarly = lib.Probe(1) // nothing sent yet
+		c.Compute(simtime.Microseconds(200))
+		probedLate = lib.Probe(1) // now staged
+		a := c.AllocF64(2)
+		lib.Wait(lib.IRecv(1, a, 16))
+	})
+	chip.LaunchOne(1, func(c *scc.Core) {
+		lib := New(comm.UE(1))
+		c.Compute(simtime.Microseconds(50))
+		a := c.AllocF64(2)
+		lib.Wait(lib.ISend(0, a, 16))
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if probedEarly {
+		t.Error("Probe returned true before any send")
+	}
+	if !probedLate {
+		t.Error("Probe returned false after the send was staged")
+	}
+}
+
+func TestCancelUnstartedRecv(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	chip.LaunchOne(0, func(c *scc.Core) {
+		lib := New(comm.UE(0))
+		a := c.AllocF64(2)
+		r := lib.IRecv(1, a, 16) // nothing will ever arrive
+		if !lib.Cancel(r) {
+			t.Error("cancel of an unstarted receive failed")
+		}
+		if lib.Pending() != 0 {
+			t.Errorf("pending = %d after cancel", lib.Pending())
+		}
+		if lib.Cancel(r) {
+			t.Error("double cancel succeeded")
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelSendRefused(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	chip.LaunchOne(0, func(c *scc.Core) {
+		lib := New(comm.UE(0))
+		a := c.AllocF64(2)
+		s := lib.ISend(1, a, 16)
+		if lib.Cancel(s) {
+			t.Error("cancel of a staged send must be refused")
+		}
+		lib.Wait(s)
+	})
+	chip.LaunchOne(1, func(c *scc.Core) {
+		lib := New(comm.UE(1))
+		a := c.AllocF64(2)
+		lib.Wait(lib.IRecv(0, a, 16))
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelStartedRecvRefused(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	chip.LaunchOne(0, func(c *scc.Core) {
+		lib := New(comm.UE(0))
+		c.Compute(simtime.Microseconds(100)) // let the sender stage first
+		a := c.AllocF64(2)
+		r := lib.IRecv(1, a, 16) // consumes the staged chunk immediately
+		if lib.Cancel(r) {
+			t.Error("cancel of a completed receive must be refused")
+		}
+		lib.Wait(r)
+	})
+	chip.LaunchOne(1, func(c *scc.Core) {
+		lib := New(comm.UE(1))
+		a := c.AllocF64(2)
+		lib.Wait(lib.ISend(0, a, 16))
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

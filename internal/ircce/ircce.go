@@ -1,0 +1,106 @@
+// Package ircce reimplements the iRCCE extension library: non-blocking
+// isend/irecv primitives that free the collectives from RCCE's rigid
+// blocking handshake (paper Sec. IV-A), at the price of heavyweight
+// request management - pending requests live in a linked list and posting
+// and completing a request performs dynamic-memory work. That management
+// cost is exactly what the paper's lightweight primitives (package lwnb)
+// remove in Sec. IV-B.
+package ircce
+
+import (
+	"scc/internal/rcce"
+	"scc/internal/scc"
+)
+
+// Lib is a per-UE instance of the iRCCE library. It tracks the pending
+// request list (the source of the overhead the paper measures).
+type Lib struct {
+	ue      *rcce.UE
+	costs   rcce.NBCosts
+	pending *node // linked list of outstanding requests
+	length  int
+}
+
+type node struct {
+	req  *rcce.Request
+	next *node
+}
+
+// New creates the library instance for one UE.
+func New(ue *rcce.UE) *Lib {
+	m := ue.Core().Chip().Model
+	return &Lib{
+		ue: ue,
+		costs: rcce.NBCosts{
+			Post:     m.OverheadIRCCEPost,
+			Wait:     m.OverheadIRCCEWait,
+			Progress: m.OverheadIRCCEWait / 4,
+		},
+	}
+}
+
+// UE returns the underlying unit of execution.
+func (l *Lib) UE() *rcce.UE { return l.ue }
+
+// Pending returns the number of outstanding requests in the list.
+func (l *Lib) Pending() int { return l.length }
+
+// ISend posts a non-blocking send of nBytes to dest. The request is
+// inserted into the pending list.
+func (l *Lib) ISend(dest int, addr scc.Addr, nBytes int) *rcce.Request {
+	r := l.ue.PostSend(l.costs, dest, addr, nBytes)
+	l.insert(r)
+	return r
+}
+
+// IRecv posts a non-blocking receive of nBytes from src.
+func (l *Lib) IRecv(src int, addr scc.Addr, nBytes int) *rcce.Request {
+	r := l.ue.PostRecv(l.costs, src, addr, nBytes)
+	l.insert(r)
+	return r
+}
+
+// Wait blocks until r completes, then unlinks it from the pending list.
+func (l *Lib) Wait(r *rcce.Request) {
+	l.ue.Wait(l.costs, r)
+	l.remove(r)
+}
+
+// WaitAll blocks until all requests complete.
+func (l *Lib) WaitAll(reqs ...*rcce.Request) {
+	l.ue.WaitAll(l.costs, reqs...)
+	for _, r := range reqs {
+		l.remove(r)
+	}
+}
+
+// Test reports whether r has completed, making progress if possible, and
+// unlinks it when done (like iRCCE_test).
+func (l *Lib) Test(r *rcce.Request) bool {
+	if !r.Done() {
+		r.TryProgress(l.costs)
+	}
+	if r.Done() {
+		l.remove(r)
+		return true
+	}
+	return false
+}
+
+// insert links a request at the list head; the list walk on removal is
+// where iRCCE's management overhead comes from (modeled by the Post/Wait
+// cost constants; the Go-level list here keeps the bookkeeping honest).
+func (l *Lib) insert(r *rcce.Request) {
+	l.pending = &node{req: r, next: l.pending}
+	l.length++
+}
+
+func (l *Lib) remove(r *rcce.Request) {
+	for p := &l.pending; *p != nil; p = &(*p).next {
+		if (*p).req == r {
+			*p = (*p).next
+			l.length--
+			return
+		}
+	}
+}

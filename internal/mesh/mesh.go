@@ -1,0 +1,167 @@
+// Package mesh simulates the SCC's 2D on-chip mesh network.
+//
+// The SCC connects 24 tiles (6 columns x 4 rows) through a mesh of
+// routers with deterministic XY (dimension-ordered) routing. The model
+// here is wormhole-flavored: a packet pays a fixed per-hop router
+// latency, serializes on each link at the link width, and links are
+// occupied for the serialization time, so competing packets queue.
+package mesh
+
+import (
+	"fmt"
+
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// Coord addresses a tile (router) in the mesh. X grows along a row,
+// Y across rows.
+type Coord struct {
+	X, Y int
+}
+
+// String formats the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Hops returns the Manhattan distance between two routers, which is the
+// XY route length.
+func Hops(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// Route returns the XY route from a to b as the sequence of routers
+// visited, including both endpoints. X is routed first, then Y, matching
+// the SCC's dimension-ordered routing.
+func Route(a, b Coord) []Coord {
+	route := []Coord{a}
+	cur := a
+	for cur.X != b.X {
+		cur.X += sign(b.X - cur.X)
+		route = append(route, cur)
+	}
+	for cur.Y != b.Y {
+		cur.Y += sign(b.Y - cur.Y)
+		route = append(route, cur)
+	}
+	return route
+}
+
+// linkKey identifies a directed link between two adjacent routers.
+type linkKey struct {
+	from, to Coord
+}
+
+// Network is the mesh fabric. It tracks per-link occupancy so that
+// overlapping transfers contend. Methods are not safe for concurrent use;
+// the simulation engine serializes all processes.
+type Network struct {
+	model *timing.Model
+
+	busyUntil map[linkKey]simtime.Time
+
+	// Statistics.
+	transfers    int64
+	totalHops    int64
+	totalBytes   int64
+	contended    int64 // transfers that waited on at least one busy link
+	totalQueueed simtime.Duration
+}
+
+// New creates a network using the model's geometry and link parameters.
+func New(model *timing.Model) *Network {
+	return &Network{
+		model:     model,
+		busyUntil: make(map[linkKey]simtime.Time),
+	}
+}
+
+// InBounds reports whether c addresses a router of this network.
+func (n *Network) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < n.model.MeshWidth && c.Y >= 0 && c.Y < n.model.MeshHeight
+}
+
+// Transfer models moving nBytes from router `from` to router `to`
+// starting no earlier than `start`. It reserves every link along the XY
+// route and returns the arrival time of the tail of the packet. A
+// zero-hop transfer (from == to) returns start unchanged; the caller
+// prices local port access separately.
+func (n *Network) Transfer(from, to Coord, nBytes int, start simtime.Time) simtime.Time {
+	if !n.InBounds(from) || !n.InBounds(to) {
+		panic(fmt.Sprintf("mesh: transfer endpoint out of bounds: %v -> %v", from, to))
+	}
+	n.transfers++
+	n.totalBytes += int64(nBytes)
+	if from == to {
+		return start
+	}
+	route := Route(from, to)
+	n.totalHops += int64(len(route) - 1)
+
+	// Serialization: cycles the packet body occupies one link.
+	serCycles := int64((nBytes + n.model.MeshLinkBytesPerCycle - 1) / n.model.MeshLinkBytesPerCycle)
+	if serCycles < 1 {
+		serCycles = 1
+	}
+	ser := simtime.MeshCycles(serCycles)
+	hop := simtime.MeshCycles(n.model.MeshHopRoundTripMeshCycles / 2) // one-way per-hop latency
+
+	headAt := start
+	contendedHere := false
+	for i := 0; i+1 < len(route); i++ {
+		lk := linkKey{route[i], route[i+1]}
+		headAt += hop
+		if until, ok := n.busyUntil[lk]; ok && until > headAt {
+			n.totalQueueed += until - headAt
+			headAt = until
+			contendedHere = true
+		}
+		n.busyUntil[lk] = headAt + ser
+	}
+	if contendedHere {
+		n.contended++
+	}
+	return headAt + ser
+}
+
+// Stats is a snapshot of network counters.
+type Stats struct {
+	Transfers  int64
+	TotalHops  int64
+	TotalBytes int64
+	Contended  int64
+	Queued     simtime.Duration
+}
+
+// Stats returns the accumulated counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Transfers:  n.transfers,
+		TotalHops:  n.totalHops,
+		TotalBytes: n.totalBytes,
+		Contended:  n.contended,
+		Queued:     n.totalQueueed,
+	}
+}
+
+// Reset clears link occupancy and statistics.
+func (n *Network) Reset() {
+	n.busyUntil = make(map[linkKey]simtime.Time)
+	n.transfers, n.totalHops, n.totalBytes, n.contended, n.totalQueueed = 0, 0, 0, 0, 0
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,240 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+func TestHops(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{5, 0}, 5},
+		{Coord{0, 0}, Coord{5, 3}, 8},
+		{Coord{2, 1}, Coord{3, 3}, 3},
+		{Coord{5, 3}, Coord{0, 0}, 8},
+	}
+	for _, c := range cases {
+		if got := Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteXYOrder(t *testing.T) {
+	r := Route(Coord{1, 1}, Coord{4, 3})
+	want := []Coord{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {4, 2}, {4, 3}}
+	if len(r) != len(want) {
+		t.Fatalf("route %v, want %v", r, want)
+	}
+	for i := range r {
+		if r[i] != want[i] {
+			t.Fatalf("route %v, want %v", r, want)
+		}
+	}
+}
+
+// Property: routes have Hops()+1 routers, start and end correctly, and
+// every step moves to a 4-neighbor.
+func TestRouteProperty(t *testing.T) {
+	f := func(ax, ay, bx, by uint8) bool {
+		a := Coord{int(ax % 6), int(ay % 4)}
+		b := Coord{int(bx % 6), int(by % 4)}
+		r := Route(a, b)
+		if len(r) != Hops(a, b)+1 || r[0] != a || r[len(r)-1] != b {
+			return false
+		}
+		for i := 1; i < len(r); i++ {
+			if Hops(r[i-1], r[i]) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferLatencyScalesWithHops(t *testing.T) {
+	m := timing.Default()
+	n := New(m)
+	lat := func(to Coord) simtime.Duration {
+		n.Reset()
+		return n.Transfer(Coord{0, 0}, to, 32, 0)
+	}
+	l1 := lat(Coord{1, 0})
+	l2 := lat(Coord{2, 0})
+	l8 := lat(Coord{5, 3})
+	if !(l1 < l2 && l2 < l8) {
+		t.Fatalf("latency not monotone in hops: %v %v %v", l1, l2, l8)
+	}
+	// Per-hop delta must be the one-way hop latency.
+	perHop := simtime.MeshCycles(m.MeshHopRoundTripMeshCycles / 2)
+	if l2-l1 != perHop {
+		t.Fatalf("per-hop delta = %v, want %v", l2-l1, perHop)
+	}
+}
+
+func TestZeroHopTransferIsFree(t *testing.T) {
+	n := New(timing.Default())
+	if got := n.Transfer(Coord{2, 2}, Coord{2, 2}, 4096, 77); got != 77 {
+		t.Fatalf("same-tile transfer arrival = %v, want 77", got)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	m := timing.Default()
+	n := New(m)
+	// Two packets over the same single link at the same instant: the
+	// second must queue behind the first's serialization.
+	a1 := n.Transfer(Coord{0, 0}, Coord{1, 0}, 64, 0)
+	a2 := n.Transfer(Coord{0, 0}, Coord{1, 0}, 64, 0)
+	if a2 <= a1 {
+		t.Fatalf("second packet not delayed: %v then %v", a1, a2)
+	}
+	ser := simtime.MeshCycles(int64(64 / m.MeshLinkBytesPerCycle))
+	if a2-a1 != ser {
+		t.Fatalf("queueing delta = %v, want serialization %v", a2-a1, ser)
+	}
+	st := n.Stats()
+	if st.Contended != 1 || st.Transfers != 2 {
+		t.Fatalf("stats = %+v, want 1 contended of 2", st)
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	n := New(timing.Default())
+	a1 := n.Transfer(Coord{0, 0}, Coord{1, 0}, 32, 0)
+	a2 := n.Transfer(Coord{0, 1}, Coord{1, 1}, 32, 0)
+	if a1 != a2 {
+		t.Fatalf("disjoint transfers differ: %v vs %v", a1, a2)
+	}
+	if st := n.Stats(); st.Contended != 0 {
+		t.Fatalf("unexpected contention: %+v", st)
+	}
+}
+
+func TestLargerPacketsTakeLonger(t *testing.T) {
+	n := New(timing.Default())
+	small := n.Transfer(Coord{0, 0}, Coord{3, 2}, 32, 0)
+	n.Reset()
+	big := n.Transfer(Coord{0, 0}, Coord{3, 2}, 4096, 0)
+	if big <= small {
+		t.Fatalf("4096B (%v) not slower than 32B (%v)", big, small)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	n := New(timing.Default())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds endpoint")
+		}
+	}()
+	n.Transfer(Coord{0, 0}, Coord{6, 0}, 32, 0)
+}
+
+// Property: arrival is never before start + minimal hop latency, and
+// reruns after Reset are identical (determinism).
+func TestTransferArrivalProperty(t *testing.T) {
+	m := timing.Default()
+	rng := rand.New(rand.NewSource(7))
+	n := New(m)
+	type tr struct {
+		a, b  Coord
+		bytes int
+		start simtime.Time
+	}
+	var trs []tr
+	for i := 0; i < 500; i++ {
+		trs = append(trs, tr{
+			a:     Coord{rng.Intn(6), rng.Intn(4)},
+			b:     Coord{rng.Intn(6), rng.Intn(4)},
+			bytes: 32 * (1 + rng.Intn(64)),
+			start: simtime.Time(rng.Intn(100000)),
+		})
+	}
+	run := func() []simtime.Time {
+		n.Reset()
+		out := make([]simtime.Time, len(trs))
+		for i, x := range trs {
+			out[i] = n.Transfer(x.a, x.b, x.bytes, x.start)
+			minLat := simtime.MeshCycles(int64(Hops(x.a, x.b)) * m.MeshHopRoundTripMeshCycles / 2)
+			if out[i] < x.start+minLat {
+				t.Fatalf("arrival %v before physical minimum %v", out[i], x.start+minLat)
+			}
+		}
+		return out
+	}
+	r1 := run()
+	r2 := run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("non-deterministic arrival at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestHotspotTrafficQueues(t *testing.T) {
+	// All-to-one traffic into tile (0,0) must contend heavily; the same
+	// volume spread across disjoint neighbor pairs must not. This is the
+	// congestion behavior behind the SCC's memory-controller hotspots.
+	m := timing.Default()
+	hot := New(m)
+	var lastArrival simtime.Time
+	for x := 0; x < 6; x++ {
+		for y := 0; y < 4; y++ {
+			if x == 0 && y == 0 {
+				continue
+			}
+			a := hot.Transfer(Coord{X: x, Y: y}, Coord{X: 0, Y: 0}, 512, 0)
+			if a > lastArrival {
+				lastArrival = a
+			}
+		}
+	}
+	hotStats := hot.Stats()
+
+	cool := New(m)
+	var coolLast simtime.Time
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 5; x += 2 {
+			a := cool.Transfer(Coord{X: x, Y: y}, Coord{X: x + 1, Y: y}, 512, 0)
+			if a > coolLast {
+				coolLast = a
+			}
+		}
+	}
+	if hotStats.Contended == 0 {
+		t.Fatal("hotspot produced no contention")
+	}
+	if cool.Stats().Contended != 0 {
+		t.Fatal("disjoint traffic contended")
+	}
+	if lastArrival <= coolLast {
+		t.Fatalf("hotspot last arrival %v not later than disjoint %v", lastArrival, coolLast)
+	}
+	if hotStats.Queued <= 0 {
+		t.Fatal("no queueing time recorded at the hotspot")
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	n := New(timing.Default())
+	n.Transfer(Coord{X: 0, Y: 0}, Coord{X: 3, Y: 2}, 96, 0)
+	st := n.Stats()
+	if st.Transfers != 1 || st.TotalBytes != 96 || st.TotalHops != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	n.Reset()
+	if st := n.Stats(); st.Transfers != 0 || st.TotalBytes != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+}

@@ -1,0 +1,43 @@
+package rcce
+
+// Dissemination barrier: an optimized alternative to RCCE's centralized
+// barrier, in the spirit of the paper's lightweight collectives. Instead
+// of funnelling 47 arrivals through core 0 (2(p-1) serialized flag
+// waits at the root), every core signals its partner at distance 2^r in
+// round r and waits for the partner at distance -2^r; after ceil(log2 p)
+// rounds everyone transitively knows everyone arrived. Generation
+// values make it reusable without clearing.
+
+// Flag roles 8..15 of each writer line are reserved for the
+// dissemination rounds (6 rounds cover up to 64 cores).
+const flagDissemBase = 8
+
+// maxDissemRounds bounds the reserved flag space.
+const maxDissemRounds = 8
+
+// BarrierDissemination synchronizes all UEs in ceil(log2 p) rounds.
+func (u *UE) BarrierDissemination() {
+	m := u.core.Chip().Model
+	u.chargeCall(m.OverheadLightweightPost) // thin entry, no list keeping
+	p := u.NumUEs()
+	me := u.ID()
+	gen := u.dissemGen
+	gen++
+	if gen == 0 {
+		gen = 1
+	}
+	u.dissemGen = gen
+
+	round := 0
+	for dist := 1; dist < p; dist *= 2 {
+		if round >= maxDissemRounds {
+			panic("rcce: dissemination barrier round overflow")
+		}
+		to := (me + dist) % p
+		from := (me - dist + p) % p
+		// Signal my partner, then wait for the symmetric signal.
+		u.core.SetFlag(u.comm.FlagAddr(to, me, flagDissemBase+round), gen)
+		u.core.WaitFlag(u.comm.FlagAddr(me, from, flagDissemBase+round), gen)
+		round++
+	}
+}

@@ -1,0 +1,126 @@
+package rcce
+
+import (
+	"testing"
+
+	"scc/internal/scc"
+	"scc/internal/simtime"
+)
+
+func TestDisseminationBarrierSynchronizes(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	arrive := make([]simtime.Time, 48)
+	depart := make([]simtime.Time, 48)
+	chip.Launch(func(core *scc.Core) {
+		ue := comm.UE(core.ID)
+		core.Compute(simtime.Microseconds(int64((core.ID * 7) % 90)))
+		arrive[core.ID] = core.Now()
+		ue.BarrierDissemination()
+		depart[core.ID] = core.Now()
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var maxArrive simtime.Time
+	for _, a := range arrive {
+		if a > maxArrive {
+			maxArrive = a
+		}
+	}
+	for id, d := range depart {
+		if d < maxArrive {
+			t.Fatalf("core %d left at %v before last arrival %v", id, d, maxArrive)
+		}
+	}
+}
+
+func TestDisseminationBarrierReusable(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	done := 0
+	chip.Launch(func(core *scc.Core) {
+		ue := comm.UE(core.ID)
+		for i := 0; i < 300; i++ { // enough rounds to wrap the generation byte
+			ue.BarrierDissemination()
+		}
+		if core.ID == 0 {
+			done = 300
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 300 {
+		t.Fatal("barrier rounds incomplete")
+	}
+}
+
+func TestDisseminationFasterThanCentralized(t *testing.T) {
+	// log2(48) rounds of neighbor flags must beat 47 serialized arrivals
+	// plus 47 serialized releases at the root.
+	run := func(dissem bool) simtime.Time {
+		chip := newChip()
+		comm := NewComm(chip)
+		chip.Launch(func(core *scc.Core) {
+			ue := comm.UE(core.ID)
+			for i := 0; i < 5; i++ {
+				if dissem {
+					ue.BarrierDissemination()
+				} else {
+					ue.Barrier()
+				}
+			}
+		})
+		if err := chip.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return chip.Now()
+	}
+	central := run(false)
+	dissem := run(true)
+	if dissem >= central {
+		t.Fatalf("dissemination (%v) not faster than centralized (%v)", dissem, central)
+	}
+}
+
+func TestLocksThroughUE(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	counter := 0
+	for _, id := range []int{3, 9, 21} {
+		chip.LaunchOne(id, func(core *scc.Core) {
+			ue := comm.UE(core.ID)
+			for i := 0; i < 4; i++ {
+				ue.AcquireLock(0)
+				counter++
+				core.Compute(simtime.Microseconds(2))
+				ue.ReleaseLock(0)
+			}
+		})
+	}
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 12 {
+		t.Fatalf("critical sections = %d, want 12", counter)
+	}
+}
+
+func TestTryLockThroughUE(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	chip.LaunchOne(0, func(core *scc.Core) {
+		ue := comm.UE(0)
+		if !ue.TryLock(5) {
+			t.Error("first TryLock failed")
+		}
+		if ue.TryLock(5) {
+			t.Error("second TryLock succeeded while held")
+		}
+		ue.ReleaseLock(5)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package rcce reimplements the SCC's native communication library RCCE
+// on the simulated chip: line-granular put/get through the MPBs, the
+// two-flag blocking send/receive protocol of the paper's Fig. 3, a
+// generation-counted barrier, and the very basic native collectives whose
+// poor scaling motivates the paper (Sec. III).
+//
+// The package also hosts the shared non-blocking request engine that the
+// iRCCE and lightweight libraries (packages ircce and lwnb) instantiate
+// with their respective software-overhead constants.
+package rcce
+
+import (
+	"fmt"
+
+	"scc/internal/scc"
+	"scc/internal/simtime"
+)
+
+// Flag roles within a core's per-writer flag line. Writer p owns line p
+// in every other core's MPB (whole-line ownership mirrors RCCE's
+// write-combining-safe flag design); the bytes of that line hold the
+// individual flags p may set there.
+const (
+	// FlagSent: p -> me, "data for you is staged in my MPB".
+	FlagSent = 0
+	// FlagReady: p -> me, "I consumed the data you staged".
+	FlagReady = 1
+	// FlagBarrierArrive: p -> root, barrier arrival (generation-valued).
+	FlagBarrierArrive = 2
+	// FlagBarrierRelease: root -> p, barrier release (generation-valued).
+	FlagBarrierRelease = 3
+	// FlagMPBSent0/1: ring producer -> consumer, "double-buffer half 0/1
+	// holds fresh data" (the MPB-direct Allreduce of Sec. IV-D).
+	FlagMPBSent0 = 4
+	FlagMPBSent1 = 5
+	// FlagMPBReady0/1: ring consumer -> producer, "I am done reading
+	// double-buffer half 0/1, you may overwrite it".
+	FlagMPBReady0 = 6
+	FlagMPBReady1 = 7
+)
+
+// Unexported aliases keep the package-internal protocol code terse.
+const (
+	flagSent           = FlagSent
+	flagReady          = FlagReady
+	flagBarrierArrive  = FlagBarrierArrive
+	flagBarrierRelease = FlagBarrierRelease
+)
+
+// Comm is an RCCE communicator spanning all cores of a chip. It owns the
+// MPB layout: the first NumCores lines of every core's MPB are flag
+// lines (one per potential writer); the rest is the chunk data region.
+type Comm struct {
+	chip *scc.Chip
+	// userFlags tracks per-core allocation of gory-interface user flags
+	// (see gory.go).
+	userFlags map[int][]bool
+}
+
+// NewComm lays an RCCE communicator over the chip.
+func NewComm(chip *scc.Chip) *Comm {
+	return &Comm{chip: chip}
+}
+
+// Chip returns the underlying chip.
+func (c *Comm) Chip() *scc.Chip { return c.chip }
+
+// NumUEs returns the number of units of execution (cores).
+func (c *Comm) NumUEs() int { return c.chip.NumCores() }
+
+// FlagAddr returns the global MPB offset of the flag that `writer` may
+// set in `owner`'s MPB, for the given flag role.
+func (c *Comm) FlagAddr(owner, writer, role int) int {
+	return c.chip.MPBBase(owner) + writer*c.chip.Model.CacheLineBytes + role
+}
+
+// DataBase returns the global MPB offset of a core's chunk data region
+// (after the pair-flag lines and the gory-interface user-flag region).
+func (c *Comm) DataBase(core int) int {
+	return c.chip.MPBBase(core) + (c.NumUEs()+userFlagLines)*c.chip.Model.CacheLineBytes
+}
+
+// DataBytes returns the usable size of each core's chunk data region
+// (8 KB minus the flag lines; 6528 B on the 48-core chip).
+func (c *Comm) DataBytes() int {
+	return c.chip.Model.MPBBytesPerCore - (c.NumUEs()+userFlagLines)*c.chip.Model.CacheLineBytes
+}
+
+// UE returns the unit-of-execution handle for a core. Call from inside
+// the core's simulated program.
+func (c *Comm) UE(coreID int) *UE {
+	return &UE{comm: c, core: c.chip.Cores[coreID], barrierGen: make(map[int]byte)}
+}
+
+// UE ("unit of execution" in RCCE terminology) is the per-core handle to
+// the communication library.
+type UE struct {
+	comm *Comm
+	core *scc.Core
+
+	// barrierGen tracks the barrier generation per root so barriers are
+	// reusable without extra clearing round trips; dissemGen does the
+	// same for the dissemination barrier.
+	barrierGen map[int]byte
+	dissemGen  byte
+
+	// activeSend is the send request currently occupying the core's MPB
+	// staging region (see PostSend).
+	activeSend *Request
+}
+
+// ID returns the UE's rank (== core ID).
+func (u *UE) ID() int { return u.core.ID }
+
+// Core exposes the underlying simulated core.
+func (u *UE) Core() *scc.Core { return u.core }
+
+// Comm returns the owning communicator.
+func (u *UE) Comm() *Comm { return u.comm }
+
+// NumUEs returns the communicator size.
+func (u *UE) NumUEs() int { return u.comm.NumUEs() }
+
+// chargeCall prices one library-call entry of n core cycles.
+func (u *UE) chargeCall(n int64) {
+	u.core.ComputeCycles(n)
+}
+
+// chargePartialLine adds the extra communication-function call RCCE
+// makes when a message does not fill whole cache lines (Sec. V-A).
+func (u *UE) chargePartialLine(nBytes int) {
+	m := u.core.Chip().Model
+	if nBytes%m.CacheLineBytes != 0 {
+		u.core.ComputeCycles(m.OverheadPartialLineCall)
+	}
+}
+
+// Put stages nBytes from private memory into the MPB at global offset
+// mpbOff: per-line cached reads on the private side, write-combined
+// line writes on the MPB side.
+func (u *UE) Put(privAddr scc.Addr, mpbOff, nBytes int) {
+	m := u.core.Chip().Model
+	var t0 simtime.Time
+	if u.core.Tracing() {
+		t0 = u.core.Now()
+	}
+	buf := make([]byte, nBytes)
+	u.core.ComputeCycles(m.PutLineCoreCycles * int64(m.Lines(nBytes)))
+	u.readPriv(privAddr, buf)
+	u.core.MPBWrite(mpbOff, buf)
+	if u.core.Tracing() {
+		u.core.RecordSpan("put", t0, u.core.Now())
+	}
+}
+
+// Get copies nBytes from the MPB at global offset mpbOff into private
+// memory at privAddr.
+func (u *UE) Get(mpbOff int, privAddr scc.Addr, nBytes int) {
+	m := u.core.Chip().Model
+	var t0 simtime.Time
+	if u.core.Tracing() {
+		t0 = u.core.Now()
+	}
+	buf := make([]byte, nBytes)
+	u.core.ComputeCycles(m.GetLineCoreCycles * int64(m.Lines(nBytes)))
+	u.core.MPBRead(mpbOff, buf)
+	u.writePriv(privAddr, buf)
+	if u.core.Tracing() {
+		u.core.RecordSpan("get", t0, u.core.Now())
+	}
+}
+
+// readPriv / writePriv move raw bytes between the simulation and the
+// core's private memory, charging cache costs.
+func (u *UE) readPriv(a scc.Addr, buf []byte) {
+	u.core.TouchRead(a, len(buf))
+	copy(buf, u.core.PrivBytes(a, len(buf)))
+}
+
+func (u *UE) writePriv(a scc.Addr, buf []byte) {
+	u.core.TouchWrite(a, len(buf))
+	copy(u.core.PrivBytes(a, len(buf)), buf)
+}
+
+// Send transmits nBytes from private memory to UE dest using the blocking
+// two-flag protocol of Fig. 3. It returns only after dest has consumed
+// every chunk.
+func (u *UE) Send(dest int, addr scc.Addr, nBytes int) {
+	if dest == u.ID() {
+		panic(fmt.Sprintf("rcce: UE %d sending to itself", dest))
+	}
+	m := u.core.Chip().Model
+	u.chargeCall(m.OverheadBlockingCall)
+	u.chargePartialLine(nBytes)
+	chunk := u.comm.DataBytes()
+	sent := u.comm.FlagAddr(dest, u.ID(), flagSent)   // I set this in dest's MPB
+	ready := u.comm.FlagAddr(u.ID(), dest, flagReady) // dest sets this in my MPB
+	for off := 0; off < nBytes || nBytes == 0; off += chunk {
+		n := min(chunk, nBytes-off)
+		u.Put(addr+scc.Addr(off), u.comm.DataBase(u.ID()), n)
+		u.core.SetFlag(sent, 1)
+		u.core.WaitFlag(ready, 1)
+		u.core.SetFlag(ready, 0) // clear ready (local line)
+		if nBytes == 0 {
+			break
+		}
+	}
+}
+
+// Recv receives nBytes from UE src into private memory, blocking.
+func (u *UE) Recv(src int, addr scc.Addr, nBytes int) {
+	if src == u.ID() {
+		panic(fmt.Sprintf("rcce: UE %d receiving from itself", src))
+	}
+	m := u.core.Chip().Model
+	u.chargeCall(m.OverheadBlockingCall)
+	u.chargePartialLine(nBytes)
+	chunk := u.comm.DataBytes()
+	sent := u.comm.FlagAddr(u.ID(), src, flagSent)   // src sets this in my MPB
+	ready := u.comm.FlagAddr(src, u.ID(), flagReady) // I set this in src's MPB
+	for off := 0; off < nBytes || nBytes == 0; off += chunk {
+		n := min(chunk, nBytes-off)
+		u.core.WaitFlag(sent, 1)
+		u.core.SetFlag(sent, 0) // clear sent (local line)
+		u.Get(u.comm.DataBase(src), addr+scc.Addr(off), n)
+		u.core.SetFlag(ready, 1)
+		if nBytes == 0 {
+			break
+		}
+	}
+}
+
+// SendF64s / RecvF64s are float64-vector conveniences.
+func (u *UE) SendF64s(dest int, addr scc.Addr, n int) { u.Send(dest, addr, 8*n) }
+func (u *UE) RecvF64s(src int, addr scc.Addr, n int)  { u.Recv(src, addr, 8*n) }
+
+// Barrier synchronizes all UEs: members report arrival to UE 0 with a
+// generation-valued flag; UE 0 releases everyone by writing the same
+// generation into their release flags. Generations make the barrier
+// reusable with no clearing round trips.
+func (u *UE) Barrier() {
+	const root = 0
+	m := u.core.Chip().Model
+	u.chargeCall(m.OverheadBlockingCall)
+	gen := u.barrierGen[root]
+	gen++
+	if gen == 0 {
+		gen = 1
+	}
+	u.barrierGen[root] = gen
+	if u.ID() == root {
+		for p := 0; p < u.NumUEs(); p++ {
+			if p == root {
+				continue
+			}
+			u.core.WaitFlag(u.comm.FlagAddr(root, p, flagBarrierArrive), gen)
+		}
+		for p := 0; p < u.NumUEs(); p++ {
+			if p == root {
+				continue
+			}
+			u.core.SetFlag(u.comm.FlagAddr(p, root, flagBarrierRelease), gen)
+		}
+		return
+	}
+	u.core.SetFlag(u.comm.FlagAddr(root, u.ID(), flagBarrierArrive), gen)
+	u.core.WaitFlag(u.comm.FlagAddr(u.ID(), root, flagBarrierRelease), gen)
+}

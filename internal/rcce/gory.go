@@ -1,0 +1,82 @@
+package rcce
+
+import "fmt"
+
+// The "gory" interface. RCCE ships two API levels: the high-level
+// ("non-gory") send/receive used so far, and the gory interface exposing
+// raw MPB space and user-allocated flags for hand-rolled protocols
+// (RCCE_flag_alloc / RCCE_flag_free / RCCE_flag_write / RCCE_wait_until).
+// The simulator reserves a user-flag region between the pair-flag lines
+// and the chunk data region: userFlagLines cache lines per core, one
+// byte per flag, allocated with a per-core free list.
+
+// userFlagLines is the size of each core's user-flag region in lines.
+const userFlagLines = 4
+
+// userFlagBase returns the global MPB offset of a core's user-flag
+// region (right after the pair-flag lines).
+func (c *Comm) userFlagBase(core int) int {
+	return c.chip.MPBBase(core) + c.NumUEs()*c.chip.Model.CacheLineBytes
+}
+
+// UserFlagCount returns how many user flags each core can hold.
+func (c *Comm) UserFlagCount() int {
+	return userFlagLines * c.chip.Model.CacheLineBytes
+}
+
+// AllocFlag reserves one user flag in owner's MPB and returns its global
+// offset, for use with UE.FlagWrite / FlagRead / WaitUntil. It fails
+// when owner's flag region is exhausted (RCCE_error-style).
+func (c *Comm) AllocFlag(owner int) (int, error) {
+	if c.userFlags == nil {
+		c.userFlags = make(map[int][]bool)
+	}
+	used := c.userFlags[owner]
+	if used == nil {
+		used = make([]bool, c.UserFlagCount())
+		c.userFlags[owner] = used
+	}
+	for i, taken := range used {
+		if !taken {
+			used[i] = true
+			return c.userFlagBase(owner) + i, nil
+		}
+	}
+	return 0, fmt.Errorf("rcce: core %d's user flag space exhausted (%d flags)",
+		owner, c.UserFlagCount())
+}
+
+// FreeFlag releases a flag previously returned by AllocFlag.
+func (c *Comm) FreeFlag(off int) error {
+	owner := c.chip.MPBOwner(off)
+	base := c.userFlagBase(owner)
+	idx := off - base
+	if idx < 0 || idx >= c.UserFlagCount() {
+		return fmt.Errorf("rcce: offset %d is not a user flag", off)
+	}
+	used := c.userFlags[owner]
+	if used == nil || !used[idx] {
+		return fmt.Errorf("rcce: double free of user flag %d", off)
+	}
+	used[idx] = false
+	return nil
+}
+
+// FlagWrite sets a flag byte (RCCE_flag_write). Costs one MPB line
+// write at the flag owner's tile.
+func (u *UE) FlagWrite(off int, v byte) {
+	u.core.SetFlag(off, v)
+}
+
+// FlagRead probes a flag byte (RCCE_flag_read).
+func (u *UE) FlagRead(off int) byte {
+	return u.core.ProbeFlag(off)
+}
+
+// WaitUntil blocks until the flag equals v (RCCE_wait_until). The time
+// spent is accounted in the core's FlagWait profile - this is the very
+// method the paper's application profile shows eating up to 50% of the
+// runtime (Sec. IV-A).
+func (u *UE) WaitUntil(off int, v byte) {
+	u.core.WaitFlag(off, v)
+}

@@ -1,0 +1,138 @@
+package rcce
+
+import (
+	"strings"
+	"testing"
+
+	"scc/internal/scc"
+	"scc/internal/simtime"
+)
+
+func TestAllocFlagDistinctAndOwned(t *testing.T) {
+	chip := newChip()
+	c := NewComm(chip)
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		off, err := c.AllocFlag(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[off] {
+			t.Fatalf("duplicate flag offset %d", off)
+		}
+		seen[off] = true
+		if chip.MPBOwner(off) != 5 {
+			t.Fatalf("flag %d not in core 5's MPB", off)
+		}
+		if off >= c.DataBase(5) {
+			t.Fatalf("flag %d overlaps the data region", off)
+		}
+	}
+}
+
+func TestAllocFlagExhaustion(t *testing.T) {
+	chip := newChip()
+	c := NewComm(chip)
+	total := c.UserFlagCount()
+	for i := 0; i < total; i++ {
+		if _, err := c.AllocFlag(0); err != nil {
+			t.Fatalf("alloc %d/%d failed: %v", i, total, err)
+		}
+	}
+	if _, err := c.AllocFlag(0); err == nil {
+		t.Fatal("expected exhaustion error")
+	} else if !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFreeFlagReuse(t *testing.T) {
+	chip := newChip()
+	c := NewComm(chip)
+	off, err := c.AllocFlag(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeFlag(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeFlag(off); err == nil {
+		t.Fatal("double free not detected")
+	}
+	off2, err := c.AllocFlag(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != off {
+		t.Fatalf("freed flag not reused: %d vs %d", off2, off)
+	}
+	if err := c.FreeFlag(c.DataBase(3) + 100); err == nil {
+		t.Fatal("freeing a data-region offset must fail")
+	}
+}
+
+func TestGoryFlagSynchronization(t *testing.T) {
+	// Hand-rolled producer/consumer over a user flag, the gory-interface
+	// style: producer writes data into its own MPB data region, raises
+	// the user flag; consumer waits, reads, acknowledges via a second
+	// user flag.
+	chip := newChip()
+	comm := NewComm(chip)
+	dataOff := comm.DataBase(0)
+	f1, err := comm.AllocFlag(1) // in consumer's MPB: producer -> consumer
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := comm.AllocFlag(0) // in producer's MPB: consumer -> producer
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	var prodDone simtime.Time
+	chip.LaunchOne(0, func(core *scc.Core) {
+		ue := comm.UE(0)
+		a := core.AllocF64(1)
+		core.WriteF64s(a, []float64{3.25})
+		ue.Put(a, dataOff, 8)
+		ue.FlagWrite(f1, 1)
+		ue.WaitUntil(f2, 1)
+		prodDone = core.Now()
+	})
+	chip.LaunchOne(1, func(core *scc.Core) {
+		ue := comm.UE(1)
+		core.Compute(simtime.Microseconds(40))
+		ue.WaitUntil(f1, 1)
+		a := core.AllocF64(1)
+		ue.Get(dataOff, a, 8)
+		out := make([]float64, 1)
+		core.ReadF64s(a, out)
+		got = out[0]
+		ue.FlagWrite(f2, 1)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.25 {
+		t.Fatalf("gory transfer delivered %v", got)
+	}
+	if prodDone < simtime.Microseconds(40) {
+		t.Fatal("producer returned before consumer acknowledged")
+	}
+	// FlagRead sees the final state.
+	chip2 := newChip()
+	comm2 := NewComm(chip2)
+	chip2.LaunchOne(0, func(core *scc.Core) {
+		ue := comm2.UE(0)
+		off, _ := comm2.AllocFlag(0)
+		if ue.FlagRead(off) != 0 {
+			t.Error("fresh flag not zero")
+		}
+		ue.FlagWrite(off, 9)
+		if ue.FlagRead(off) != 9 {
+			t.Error("flag write not visible")
+		}
+	})
+	if err := chip2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package rcce
+
+// RCCE's lock API over the SCC's per-core hardware test-and-set
+// registers (the "gory" interface exposes them as RCCE_acquire_lock /
+// RCCE_release_lock). Each core owns one register; any core may use any
+// register, so they double as global mutexes.
+
+// AcquireLock spins until the caller holds core target's test-and-set
+// register.
+func (u *UE) AcquireLock(target int) {
+	m := u.core.Chip().Model
+	u.chargeCall(m.OverheadBlockingCall / 4) // thin wrapper, no MPB work
+	u.core.TASAcquire(target)
+}
+
+// ReleaseLock frees core target's register.
+func (u *UE) ReleaseLock(target int) {
+	m := u.core.Chip().Model
+	u.chargeCall(m.OverheadBlockingCall / 4)
+	u.core.TASRelease(target)
+}
+
+// TryLock performs one non-blocking probe of the register.
+func (u *UE) TryLock(target int) bool {
+	m := u.core.Chip().Model
+	u.chargeCall(m.OverheadBlockingCall / 4)
+	return u.core.TASTest(target)
+}

@@ -1,0 +1,59 @@
+package rcce
+
+import "scc/internal/scc"
+
+// Native RCCE collectives (Sec. III): the root communicates with the
+// remaining cores serially, and for Reduce the root computes the entire
+// reduction alone. They "do not scale well ... and suffer from both high
+// latency and low efficiency" - reproduced here as the pre-optimization
+// baseline referenced by the paper and its related work ([8], [9] report
+// tree-based alternatives beating these by >20x for Broadcast).
+
+// NativeBcast broadcasts n float64 values at addr from root to everyone,
+// one serial blocking send per peer.
+func (u *UE) NativeBcast(root int, addr scc.Addr, n int) {
+	if u.ID() == root {
+		for p := 0; p < u.NumUEs(); p++ {
+			if p != root {
+				u.SendF64s(p, addr, n)
+			}
+		}
+		return
+	}
+	u.RecvF64s(root, addr, n)
+}
+
+// NativeReduce reduces n float64 values element-wise into the root: every
+// peer sends its vector to the root serially and the root alone combines
+// them. src and dst are private-memory addresses; dst is only meaningful
+// on the root.
+func (u *UE) NativeReduce(root int, src, dst scc.Addr, n int, op func(a, b float64) float64) {
+	m := u.core.Chip().Model
+	if u.ID() != root {
+		u.SendF64s(root, src, n)
+		return
+	}
+	acc := make([]float64, n)
+	u.core.ReadF64s(src, acc)
+	tmpAddr := u.core.AllocF64(n)
+	tmp := make([]float64, n)
+	for p := 0; p < u.NumUEs(); p++ {
+		if p == root {
+			continue
+		}
+		u.RecvF64s(p, tmpAddr, n)
+		u.core.ReadF64s(tmpAddr, tmp)
+		u.core.ComputeCycles(m.ReducePerElementCoreCycles * int64(n))
+		for i := range acc {
+			acc[i] = op(acc[i], tmp[i])
+		}
+	}
+	u.core.WriteF64s(dst, acc)
+}
+
+// NativeAllreduce is RCCE's Reduce-then-Broadcast composition.
+func (u *UE) NativeAllreduce(src, dst scc.Addr, n int, op func(a, b float64) float64) {
+	const root = 0
+	u.NativeReduce(root, src, dst, n, op)
+	u.NativeBcast(root, dst, n)
+}

@@ -1,0 +1,404 @@
+package rcce
+
+import (
+	"math/rand"
+	"testing"
+
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+func newChip() *scc.Chip { return scc.New(timing.Default()) }
+
+func TestLayoutConstants(t *testing.T) {
+	chip := newChip()
+	c := NewComm(chip)
+	if c.NumUEs() != 48 {
+		t.Fatalf("NumUEs = %d", c.NumUEs())
+	}
+	// 48 pair-flag lines + 4 user-flag lines of 32 B leave
+	// 8192-1664 = 6528 B of chunk space.
+	if got := c.DataBytes(); got != 6528 {
+		t.Fatalf("DataBytes = %d, want 6528", got)
+	}
+	// Flag lines precede the data region and are owned correctly.
+	for owner := 0; owner < 48; owner += 13 {
+		for writer := 0; writer < 48; writer += 11 {
+			a := c.FlagAddr(owner, writer, flagSent)
+			if chip.MPBOwner(a) != owner {
+				t.Fatalf("flag (%d,%d) lands in core %d's MPB", owner, writer, chip.MPBOwner(a))
+			}
+			if a >= c.DataBase(owner) {
+				t.Fatalf("flag (%d,%d) overlaps data region", owner, writer)
+			}
+		}
+	}
+}
+
+func TestBlockingSendRecvDeliversPayload(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	rng := rand.New(rand.NewSource(9))
+	payload := make([]float64, 123)
+	for i := range payload {
+		payload[i] = rng.NormFloat64()
+	}
+	var got []float64
+	chip.LaunchOne(7, func(core *scc.Core) {
+		ue := comm.UE(7)
+		a := core.AllocF64(len(payload))
+		core.WriteF64s(a, payload)
+		ue.SendF64s(31, a, len(payload))
+	})
+	chip.LaunchOne(31, func(core *scc.Core) {
+		ue := comm.UE(31)
+		a := core.AllocF64(len(payload))
+		ue.RecvF64s(7, a, len(payload))
+		got = make([]float64, len(payload))
+		core.ReadF64s(a, got)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestBlockingSendChunksLargeMessages(t *testing.T) {
+	// 3000 doubles = 24000 bytes >> 6528-byte chunk region: must arrive
+	// intact through multiple handshakes.
+	chip := newChip()
+	comm := NewComm(chip)
+	n := 3000
+	payload := make([]float64, n)
+	for i := range payload {
+		payload[i] = float64(i) * 1.5
+	}
+	var got []float64
+	chip.LaunchOne(0, func(core *scc.Core) {
+		ue := comm.UE(0)
+		a := core.AllocF64(n)
+		core.WriteF64s(a, payload)
+		ue.SendF64s(1, a, n)
+	})
+	chip.LaunchOne(1, func(core *scc.Core) {
+		ue := comm.UE(1)
+		a := core.AllocF64(n)
+		ue.RecvF64s(0, a, n)
+		got = make([]float64, n)
+		core.ReadF64s(a, got)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("chunked payload corrupted at %d: %v != %v", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestBlockingSendWaitsForReceiver(t *testing.T) {
+	// Sender must not return before the receiver picked the data up
+	// (Fig. 3: "the sender waits until the receiver has picked up the
+	// data").
+	chip := newChip()
+	comm := NewComm(chip)
+	delay := simtime.Microseconds(300)
+	var sendDone simtime.Time
+	chip.LaunchOne(0, func(core *scc.Core) {
+		ue := comm.UE(0)
+		a := core.AllocF64(4)
+		ue.SendF64s(1, a, 4)
+		sendDone = core.Now()
+	})
+	chip.LaunchOne(1, func(core *scc.Core) {
+		ue := comm.UE(1)
+		core.Compute(delay) // receiver is late
+		a := core.AllocF64(4)
+		ue.RecvF64s(0, a, 4)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone < delay {
+		t.Fatalf("send returned at %v, before the receiver even posted (%v)", sendDone, delay)
+	}
+}
+
+func TestBarrierSynchronizesAllCores(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	arrive := make([]simtime.Time, 48)
+	depart := make([]simtime.Time, 48)
+	chip.Launch(func(core *scc.Core) {
+		ue := comm.UE(core.ID)
+		// Stagger arrivals.
+		core.Compute(simtime.Microseconds(int64(core.ID * 10)))
+		arrive[core.ID] = core.Now()
+		ue.Barrier()
+		depart[core.ID] = core.Now()
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var maxArrive simtime.Time
+	for _, a := range arrive {
+		if a > maxArrive {
+			maxArrive = a
+		}
+	}
+	for id, d := range depart {
+		if d < maxArrive {
+			t.Fatalf("core %d left the barrier at %v before the last arrival %v", id, d, maxArrive)
+		}
+	}
+}
+
+func TestBarrierIsReusable(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	rounds := 0
+	chip.Launch(func(core *scc.Core) {
+		ue := comm.UE(core.ID)
+		for r := 0; r < 5; r++ {
+			ue.Barrier()
+		}
+		if core.ID == 0 {
+			rounds = 5
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 5 {
+		t.Fatal("barrier rounds did not complete")
+	}
+}
+
+func TestNativeBcastDelivers(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	n := 40
+	results := make([][]float64, 48)
+	chip.Launch(func(core *scc.Core) {
+		ue := comm.UE(core.ID)
+		a := core.AllocF64(n)
+		if core.ID == 3 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(i) + 0.5
+			}
+			core.WriteF64s(a, v)
+		}
+		ue.NativeBcast(3, a, n)
+		got := make([]float64, n)
+		core.ReadF64s(a, got)
+		results[core.ID] = got
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, got := range results {
+		for i := range got {
+			if got[i] != float64(i)+0.5 {
+				t.Fatalf("core %d element %d = %v", id, i, got[i])
+			}
+		}
+	}
+}
+
+func TestNativeReduceSumsAllCores(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	n := 20
+	var got []float64
+	chip.Launch(func(core *scc.Core) {
+		ue := comm.UE(core.ID)
+		src := core.AllocF64(n)
+		dst := core.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(core.ID) + float64(i)*0.01
+		}
+		core.WriteF64s(src, v)
+		ue.NativeReduce(0, src, dst, n, func(a, b float64) float64 { return a + b })
+		if core.ID == 0 {
+			got = make([]float64, n)
+			core.ReadF64s(dst, got)
+		}
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// sum over cores of (id + i*0.01) = sum(ids) + 48*i*0.01
+	sumIDs := float64(47 * 48 / 2)
+	for i := range got {
+		want := sumIDs + 48*float64(i)*0.01
+		if diff := got[i] - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("reduce element %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestNonBlockingRingNoOddEvenNeeded(t *testing.T) {
+	// Every core posts isend+irecv in the same (send-first) order around
+	// a ring. With blocking primitives this deadlocks; with non-blocking
+	// ones it must complete (Sec. IV-A).
+	chip := newChip()
+	comm := NewComm(chip)
+	costs := NBCosts{Post: 100, Wait: 100, Progress: 25}
+	n := 50
+	ok := make([]bool, 48)
+	chip.Launch(func(core *scc.Core) {
+		ue := comm.UE(core.ID)
+		p := ue.NumUEs()
+		right := (core.ID + 1) % p
+		left := (core.ID + p - 1) % p
+		src := core.AllocF64(n)
+		dst := core.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(core.ID)*1000 + float64(i)
+		}
+		core.WriteF64s(src, v)
+		s := ue.PostSend(costs, right, src, 8*n)
+		r := ue.PostRecv(costs, left, dst, 8*n)
+		ue.WaitAll(costs, s, r)
+		got := make([]float64, n)
+		core.ReadF64s(dst, got)
+		good := true
+		for i := range got {
+			if got[i] != float64(left)*1000+float64(i) {
+				good = false
+			}
+		}
+		ok[core.ID] = good
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, good := range ok {
+		if !good {
+			t.Fatalf("core %d received wrong ring payload", id)
+		}
+	}
+}
+
+func TestNonBlockingChunkedMessage(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	costs := NBCosts{Post: 100, Wait: 100, Progress: 25}
+	n := 2000 // 16000 bytes: 3 chunks
+	var got []float64
+	chip.LaunchOne(5, func(core *scc.Core) {
+		ue := comm.UE(5)
+		a := core.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i) * 0.25
+		}
+		core.WriteF64s(a, v)
+		s := ue.PostSend(costs, 6, a, 8*n)
+		ue.Wait(costs, s)
+	})
+	chip.LaunchOne(6, func(core *scc.Core) {
+		ue := comm.UE(6)
+		a := core.AllocF64(n)
+		r := ue.PostRecv(costs, 5, a, 8*n)
+		ue.Wait(costs, r)
+		got = make([]float64, n)
+		core.ReadF64s(a, got)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != float64(i)*0.25 {
+			t.Fatalf("chunked NB payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestSecondPostSendDrainsFirst(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	costs := NBCosts{Post: 100, Wait: 100, Progress: 25}
+	var got1, got2 []float64
+	chip.LaunchOne(0, func(core *scc.Core) {
+		ue := comm.UE(0)
+		a := core.AllocF64(8)
+		b := core.AllocF64(8)
+		core.WriteF64s(a, []float64{1, 1, 1, 1, 1, 1, 1, 1})
+		core.WriteF64s(b, []float64{2, 2, 2, 2, 2, 2, 2, 2})
+		s1 := ue.PostSend(costs, 1, a, 64)
+		s2 := ue.PostSend(costs, 1, b, 64) // must drain s1 first
+		ue.WaitAll(costs, s1, s2)
+	})
+	chip.LaunchOne(1, func(core *scc.Core) {
+		ue := comm.UE(1)
+		a := core.AllocF64(8)
+		b := core.AllocF64(8)
+		r1 := ue.PostRecv(costs, 0, a, 64)
+		ue.Wait(costs, r1)
+		r2 := ue.PostRecv(costs, 0, b, 64)
+		ue.Wait(costs, r2)
+		got1 = make([]float64, 8)
+		got2 = make([]float64, 8)
+		core.ReadF64s(a, got1)
+		core.ReadF64s(b, got2)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got1[i] != 1 || got2[i] != 2 {
+			t.Fatalf("ordered sends arrived wrong: %v / %v", got1, got2)
+		}
+	}
+}
+
+func TestPartialLineMessageCostsMore(t *testing.T) {
+	// A 5-double (40 B) message needs 2 lines and the extra padding
+	// call; an 8-double (64 B) message needs 2 lines and no extra call,
+	// so the 5-double send/recv pair must be at least as expensive.
+	lat := func(n int) simtime.Time {
+		chip := newChip()
+		comm := NewComm(chip)
+		chip.LaunchOne(0, func(core *scc.Core) {
+			ue := comm.UE(0)
+			a := core.AllocF64(n)
+			ue.SendF64s(1, a, n)
+		})
+		chip.LaunchOne(1, func(core *scc.Core) {
+			ue := comm.UE(1)
+			a := core.AllocF64(n)
+			ue.RecvF64s(0, a, n)
+		})
+		if err := chip.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return chip.Now()
+	}
+	l5, l8 := lat(5), lat(8)
+	if l5 <= l8 {
+		t.Fatalf("partial-line message (%v) should cost more than full-line (%v)", l5, l8)
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	chip := newChip()
+	comm := NewComm(chip)
+	chip.LaunchOne(0, func(core *scc.Core) {
+		ue := comm.UE(0)
+		a := core.AllocF64(1)
+		ue.SendF64s(0, a, 1)
+	})
+	if err := chip.Run(); err == nil {
+		t.Fatal("self-send should fail the simulation")
+	}
+}

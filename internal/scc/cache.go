@@ -1,0 +1,111 @@
+package scc
+
+// cacheLevel is a fully-associative LRU cache model over line numbers.
+// The SCC's real L1 (16 KB) and L2 (256 KB, pseudo-LRU) are set
+// associative; full associativity with true LRU is a standard simulator
+// simplification that preserves the behaviour the paper relies on: the
+// first access to a private-memory line goes off-chip, later accesses hit
+// on-chip (Sec. IV-D).
+type cacheLevel struct {
+	capacity int // in lines
+	lines    map[int64]*cacheNode
+	head     *cacheNode // most recently used
+	tail     *cacheNode // least recently used
+
+	hits, misses int64
+}
+
+type cacheNode struct {
+	line       int64
+	prev, next *cacheNode
+}
+
+func newCacheLevel(capacityLines int) *cacheLevel {
+	hint := capacityLines
+	if hint > 256 {
+		hint = 256 // grow on demand; avoids large up-front allocation per core
+	}
+	return &cacheLevel{
+		capacity: capacityLines,
+		lines:    make(map[int64]*cacheNode, hint),
+	}
+}
+
+// lookup probes the cache; on hit the line becomes most recently used.
+func (c *cacheLevel) lookup(line int64) bool {
+	n, ok := c.lines[line]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.moveToFront(n)
+	return true
+}
+
+// insert fills a line, evicting the LRU entry if needed. Returns the
+// evicted line number and true if an eviction happened.
+func (c *cacheLevel) insert(line int64) (evicted int64, ok bool) {
+	if n, exists := c.lines[line]; exists {
+		c.moveToFront(n)
+		return 0, false
+	}
+	n := &cacheNode{line: line}
+	c.lines[line] = n
+	c.pushFront(n)
+	if len(c.lines) > c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.lines, victim.line)
+		return victim.line, true
+	}
+	return 0, false
+}
+
+// invalidate drops a line if present.
+func (c *cacheLevel) invalidate(line int64) {
+	if n, ok := c.lines[line]; ok {
+		c.unlink(n)
+		delete(c.lines, line)
+	}
+}
+
+// flush empties the cache.
+func (c *cacheLevel) flush() {
+	c.lines = make(map[int64]*cacheNode)
+	c.head, c.tail = nil, nil
+}
+
+func (c *cacheLevel) pushFront(n *cacheNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *cacheLevel) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *cacheLevel) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,141 @@
+// Package scc models the Single-Chip Cloud Computer: 48 P54C cores on 24
+// tiles, a 6x4 mesh, per-core 8 KB message-passing buffers (MPBs), L1/L2
+// private-memory caches, and four memory controllers.
+//
+// Simulated programs are written against the Core API: they allocate
+// private memory, read and write it (priced through the cache model),
+// access MPBs (priced by locality and the mesh), and synchronize through
+// MPB flags. The package knows nothing about RCCE or MPI; the
+// communication libraries are layered on top.
+package scc
+
+import (
+	"fmt"
+
+	"scc/internal/mesh"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// Chip is one simulated SCC plus its simulation engine.
+type Chip struct {
+	Model  *timing.Model
+	Engine *simtime.Engine
+	Net    *mesh.Network
+	Cores  []*Core
+
+	mpb      []byte
+	flagSigs map[int]*simtime.Signal
+	// anyWaiters holds one-shot signals registered by WaitFlagAny under
+	// every offset the waiter watches.
+	anyWaiters map[int][]*simtime.Signal
+	// waiting tracks MPB offsets with at least one blocked waiter, so
+	// bulk writes can cheaply detect flag overwrites.
+	waiting map[int]int
+
+	// Hardware test-and-set registers, one per core (see tas.go).
+	tasTaken   []bool
+	tasSigs    map[int]*simtime.Signal
+	tasWaiting map[int]int
+}
+
+// New builds a chip for the given model (use timing.Default for the
+// paper's configuration). It panics if the model is invalid; validate
+// separately if the model comes from user input.
+func New(model *timing.Model) *Chip {
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Chip{
+		Model:      model,
+		Engine:     simtime.NewEngine(),
+		Net:        mesh.New(model),
+		mpb:        make([]byte, model.MPBTotalBytes()),
+		flagSigs:   make(map[int]*simtime.Signal),
+		anyWaiters: make(map[int][]*simtime.Signal),
+		waiting:    make(map[int]int),
+		tasTaken:   make([]bool, model.NumCores()),
+		tasSigs:    make(map[int]*simtime.Signal),
+		tasWaiting: make(map[int]int),
+	}
+	for id := 0; id < model.NumCores(); id++ {
+		c.Cores = append(c.Cores, newCore(c, id))
+	}
+	return c
+}
+
+// NumCores returns how many cores the chip has.
+func (c *Chip) NumCores() int { return len(c.Cores) }
+
+// TileOf returns the mesh coordinate of a core's tile. Cores are numbered
+// as on the real SCC: core id / 2 is the tile index, tiles are row-major
+// over the 6x4 mesh.
+func (c *Chip) TileOf(coreID int) mesh.Coord {
+	tile := coreID / c.Model.CoresPerTile
+	return mesh.Coord{X: tile % c.Model.MeshWidth, Y: tile / c.Model.MeshWidth}
+}
+
+// memControllerFor returns the router coordinate of the memory controller
+// serving a core. The SCC's four controllers sit on the left and right
+// mesh edges; each quadrant of cores maps to its nearest controller.
+func (c *Chip) memControllerFor(coreID int) mesh.Coord {
+	t := c.TileOf(coreID)
+	x := 0
+	if t.X >= c.Model.MeshWidth/2 {
+		x = c.Model.MeshWidth - 1
+	}
+	y := 0
+	if t.Y >= c.Model.MeshHeight/2 {
+		y = c.Model.MeshHeight - 1
+	}
+	return mesh.Coord{X: x, Y: y}
+}
+
+// MPBOwner returns which core owns the MPB byte at global offset off.
+func (c *Chip) MPBOwner(off int) int { return off / c.Model.MPBBytesPerCore }
+
+// MPBBase returns the global MPB offset of a core's 8 KB region.
+func (c *Chip) MPBBase(coreID int) int { return coreID * c.Model.MPBBytesPerCore }
+
+// MPBSlice exposes raw MPB contents for tests and debugging. It performs
+// no timing; simulated programs must use the Core accessors instead.
+func (c *Chip) MPBSlice(off, n int) []byte { return c.mpb[off : off+n] }
+
+// flagSignal returns the waiter list for an MPB flag offset.
+func (c *Chip) flagSignal(off int) *simtime.Signal {
+	s, ok := c.flagSigs[off]
+	if !ok {
+		s = &simtime.Signal{}
+		c.flagSigs[off] = s
+	}
+	return s
+}
+
+// Launch spawns one simulated process per core, all running fn with their
+// own core handle (SPMD style). Call Run afterwards.
+func (c *Chip) Launch(fn func(core *Core)) {
+	for _, core := range c.Cores {
+		core := core
+		core.proc = c.Engine.Spawn(fmt.Sprintf("core%02d", core.ID), func(p *simtime.Proc) {
+			fn(core)
+			core.flushLocal() // apply trailing deferred latency
+		})
+	}
+}
+
+// LaunchOne spawns a simulated process on a single core. Mixing Launch
+// and LaunchOne on the same chip is allowed before Run.
+func (c *Chip) LaunchOne(coreID int, fn func(core *Core)) {
+	core := c.Cores[coreID]
+	core.proc = c.Engine.Spawn(fmt.Sprintf("core%02d", coreID), func(p *simtime.Proc) {
+		fn(core)
+		core.flushLocal()
+	})
+}
+
+// Run executes the simulation to completion and returns the engine error
+// (nil, deadlock, or a propagated panic).
+func (c *Chip) Run() error { return c.Engine.Run() }
+
+// Now returns the current virtual time.
+func (c *Chip) Now() simtime.Time { return c.Engine.Now() }

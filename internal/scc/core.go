@@ -1,0 +1,504 @@
+package scc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scc/internal/mesh"
+	"scc/internal/simtime"
+)
+
+// Addr is a byte offset into a core's private memory arena.
+type Addr int
+
+// Core is one simulated P54C core. All methods that bear latency must be
+// called from within the core's simulated process (i.e. inside the
+// function passed to Chip.Launch).
+type Core struct {
+	ID   int
+	chip *Chip
+	tile mesh.Coord
+	proc *simtime.Proc
+
+	priv []byte
+	brk  Addr
+
+	l1, l2 *cacheLevel
+
+	// pending accumulates purely local latency (compute, cache hits,
+	// private-memory misses) that no other core can observe until this
+	// core next touches shared state. It is flushed into a single
+	// simulated sleep at every MPB/flag interaction and at Now(). This
+	// batching collapses thousands of scheduler events per collective
+	// without changing any observable timing.
+	pending simtime.Duration
+
+	// spanRec, when set, receives labeled time spans for protocol
+	// visualization (see internal/trace).
+	spanRec func(label string, start, end simtime.Time)
+
+	// freqDiv is the DVFS clock divider (see power.go); 0 means the
+	// default preset (divider 3, 533 MHz). energy accumulates the
+	// relative compute energy.
+	freqDiv int
+	energy  float64
+
+	prof Profile
+}
+
+// SetSpanRecorder installs a span hook (nil disables recording).
+func (c *Core) SetSpanRecorder(rec func(label string, start, end simtime.Time)) {
+	c.spanRec = rec
+}
+
+// RecordSpan forwards a labeled interval to the span recorder, if any.
+func (c *Core) RecordSpan(label string, start, end simtime.Time) {
+	if c.spanRec != nil {
+		c.spanRec(label, start, end)
+	}
+}
+
+// Tracing reports whether a span recorder is installed.
+func (c *Core) Tracing() bool { return c.spanRec != nil }
+
+// chargeLocal defers a purely local latency.
+func (c *Core) chargeLocal(d simtime.Duration) { c.pending += d }
+
+// flushLocal advances the clock by any deferred local latency. Must be
+// called before interacting with shared state or reading the clock.
+func (c *Core) flushLocal() {
+	if c.pending > 0 {
+		d := c.pending
+		c.pending = 0
+		c.proc.Sleep(d)
+	}
+}
+
+// Profile accumulates per-core instrumentation, mirroring the paper's
+// profiling of the thermodynamic application (Sec. IV-A: "cores spend up
+// to 50% of their time in the rcce_wait_until method").
+type Profile struct {
+	// FlagWait is virtual time spent blocked waiting on MPB flags.
+	FlagWait simtime.Duration
+	// Compute is virtual time charged through Compute.
+	Compute simtime.Duration
+	// MPBBytesRead / Written count MPB traffic issued by this core.
+	MPBBytesRead    int64
+	MPBBytesWritten int64
+	// FlagWaits counts WaitFlag invocations that actually blocked.
+	FlagWaits int64
+}
+
+func newCore(chip *Chip, id int) *Core {
+	m := chip.Model
+	return &Core{
+		ID:   id,
+		chip: chip,
+		tile: chip.TileOf(id),
+		priv: make([]byte, 0, 1<<14),
+		l1:   newCacheLevel(m.L1DataBytes / m.CacheLineBytes),
+		l2:   newCacheLevel(m.L2Bytes / m.CacheLineBytes),
+	}
+}
+
+// Chip returns the chip this core belongs to.
+func (c *Core) Chip() *Chip { return c.chip }
+
+// Tile returns the mesh coordinate of the core's tile.
+func (c *Core) Tile() mesh.Coord { return c.tile }
+
+// Proc exposes the underlying simulated process (nil before Launch).
+func (c *Core) Proc() *simtime.Proc { return c.proc }
+
+// Now returns the core's current virtual time, first applying any
+// deferred local latency.
+func (c *Core) Now() simtime.Time {
+	c.flushLocal()
+	return c.proc.Now()
+}
+
+// Prof returns a snapshot of the core's profile counters.
+func (c *Core) Prof() Profile { return c.prof }
+
+// ResetProfile clears the profile counters.
+func (c *Core) ResetProfile() { c.prof = Profile{} }
+
+// --- Private memory ---
+
+// Alloc reserves n bytes of private memory, line-aligned, and returns its
+// address. Allocation itself is free (it models static/stack data).
+func (c *Core) Alloc(n int) Addr {
+	line := c.chip.Model.CacheLineBytes
+	c.brk = Addr((int(c.brk) + line - 1) / line * line)
+	a := c.brk
+	c.brk += Addr(n)
+	for len(c.priv) < int(c.brk) {
+		c.priv = append(c.priv, make([]byte, int(c.brk)-len(c.priv))...)
+	}
+	return a
+}
+
+// AllocF64 reserves space for n float64 values.
+func (c *Core) AllocF64(n int) Addr { return c.Alloc(8 * n) }
+
+// privAccessCost prices one access to the private-memory line holding
+// byte address a, updating cache state but not advancing time. write
+// selects store semantics (L1 write-allocate, L2 non-write-allocate,
+// matching the SCC tile's cache policies).
+func (c *Core) privAccessCost(a Addr, write bool) simtime.Duration {
+	m := c.chip.Model
+	line := int64(a) / int64(m.CacheLineBytes)
+	switch {
+	case c.l1.lookup(line):
+		return m.L1Hit()
+	case c.l2.lookup(line):
+		c.l1.insert(line)
+		return m.L2Hit()
+	default:
+		hops := mesh.Hops(c.tile, c.chip.memControllerFor(c.ID))
+		c.l1.insert(line)
+		if !write { // L2 is non-write-allocate
+			c.l2.insert(line)
+		}
+		return m.DRAMAccess(hops)
+	}
+}
+
+// chargePrivAccess prices one private-memory access (deferred: private
+// memory is invisible to other cores).
+func (c *Core) chargePrivAccess(a Addr, write bool) {
+	c.chargeLocal(c.privAccessCost(a, write))
+}
+
+// touchRange charges cache costs for every line in [a, a+n), advancing
+// time once for the whole range (per-line interleaving below the
+// resolution of one bulk access is not observable by other cores, since
+// private memory is private).
+func (c *Core) touchRange(a Addr, n int, write bool) {
+	if n <= 0 {
+		return
+	}
+	lineSz := Addr(c.chip.Model.CacheLineBytes)
+	first := a / lineSz
+	last := (a + Addr(n) - 1) / lineSz
+	var total simtime.Duration
+	for l := first; l <= last; l++ {
+		total += c.privAccessCost(l*lineSz, write)
+	}
+	c.chargeLocal(total)
+}
+
+// TouchRead charges cache costs for reading the byte range [a, a+n) of
+// private memory without moving data (for callers that stage raw bytes).
+func (c *Core) TouchRead(a Addr, n int) { c.touchRange(a, n, false) }
+
+// TouchWrite charges cache costs for writing the byte range [a, a+n).
+func (c *Core) TouchWrite(a Addr, n int) { c.touchRange(a, n, true) }
+
+// ReadF64 loads one float64 from private memory.
+func (c *Core) ReadF64(a Addr) float64 {
+	c.chargePrivAccess(a, false)
+	return readF64(c.priv, a)
+}
+
+// WriteF64 stores one float64 to private memory.
+func (c *Core) WriteF64(a Addr, v float64) {
+	c.chargePrivAccess(a, true)
+	writeF64(c.priv, a, v)
+}
+
+// ReadF64s loads n float64 values starting at a into dst.
+func (c *Core) ReadF64s(a Addr, dst []float64) {
+	c.touchRange(a, 8*len(dst), false)
+	for i := range dst {
+		dst[i] = readF64(c.priv, a+Addr(8*i))
+	}
+}
+
+// WriteF64s stores src into private memory starting at a.
+func (c *Core) WriteF64s(a Addr, src []float64) {
+	c.touchRange(a, 8*len(src), true)
+	for i, v := range src {
+		writeF64(c.priv, a+Addr(8*i), v)
+	}
+}
+
+// PrivBytes exposes raw private memory (no timing) for tests.
+func (c *Core) PrivBytes(a Addr, n int) []byte { return c.priv[a : a+Addr(n)] }
+
+// Compute advances the core's clock by d to model pure computation
+// (deferred until the next shared-state interaction).
+func (c *Core) Compute(d simtime.Duration) {
+	if d < 0 {
+		panic("scc: negative compute duration")
+	}
+	c.prof.Compute += d
+	c.chargeLocal(d)
+}
+
+// ComputeCycles charges n core clock cycles of computation at the
+// core's current clock (DVFS-aware) and accumulates the energy
+// estimate.
+func (c *Core) ComputeCycles(n int64) {
+	d := c.cycleDuration(n)
+	c.energy += c.relativePower() * d.Seconds()
+	c.Compute(d)
+}
+
+// --- MPB access ---
+
+// mpbHops returns the mesh distance from this core to the MPB of owner.
+func (c *Core) mpbHops(owner int) int {
+	return mesh.Hops(c.tile, c.chip.TileOf(owner))
+}
+
+// mpbLineAccess charges the latency of one line-sized MPB access and
+// models link occupancy for remote accesses.
+func (c *Core) mpbLineAccess(owner int, read bool) {
+	c.proc.Sleep(c.mpbAccessCost(owner, 1, read))
+}
+
+// mpbAccessCost prices nLines consecutive line-sized MPB accesses
+// (including mesh link occupancy for remote ones) without advancing
+// time. On the P54C each line is a blocking transaction, so lines
+// serialize; the cost is the sum of per-line costs plus any queueing
+// behind contended links.
+func (c *Core) mpbAccessCost(owner, nLines int, read bool) simtime.Duration {
+	c.flushLocal() // MPB state is shared; local time must be applied first
+	m := c.chip.Model
+	hops := c.mpbHops(owner)
+	lat := m.MPBAccess(hops, read)
+	if hops == 0 {
+		return lat * simtime.Time(nLines)
+	}
+	// Remote: packets also occupy mesh links. The data-bearing
+	// direction is owner->me for reads and me->owner for writes.
+	from, to := c.tile, c.chip.TileOf(owner)
+	if read {
+		from, to = to, from
+	}
+	t := c.proc.Now()
+	for l := 0; l < nLines; l++ {
+		arrive := c.chip.Net.Transfer(from, to, m.CacheLineBytes, t)
+		end := t + lat
+		if arrive > end {
+			end = arrive
+		}
+		t = end
+	}
+	return t - c.proc.Now()
+}
+
+// checkMPBRange panics on out-of-bounds MPB access.
+func (c *Core) checkMPBRange(off, n int) {
+	if off < 0 || n < 0 || off+n > len(c.chip.mpb) {
+		panic(fmt.Sprintf("scc: MPB access out of range: off=%d n=%d", off, n))
+	}
+}
+
+// MPBWrite copies src into the MPB at global offset off, paying per-line
+// write costs. Writes go through the write-combining buffer, so partial
+// lines still cost a full line.
+func (c *Core) MPBWrite(off int, src []byte) {
+	c.checkMPBRange(off, len(src))
+	m := c.chip.Model
+	owner := c.chip.MPBOwner(off)
+	c.proc.Sleep(c.mpbAccessCost(owner, m.Lines(len(src)), false))
+	copy(c.chip.mpb[off:], src)
+	c.prof.MPBBytesWritten += int64(len(src))
+	c.notifyFlagWaiters(off, len(src))
+}
+
+// MPBRead copies n bytes from the MPB at global offset off into dst,
+// paying per-line read costs (each line is a blocking round trip on the
+// P54C).
+func (c *Core) MPBRead(off int, dst []byte) {
+	c.checkMPBRange(off, len(dst))
+	m := c.chip.Model
+	owner := c.chip.MPBOwner(off)
+	c.proc.Sleep(c.mpbAccessCost(owner, m.Lines(len(dst)), true))
+	copy(dst, c.chip.mpb[off:off+len(dst)])
+	c.prof.MPBBytesRead += int64(len(dst))
+}
+
+// MPBWriteF64s writes float64 values to the MPB.
+func (c *Core) MPBWriteF64s(off int, src []float64) {
+	buf := make([]byte, 8*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], f64bits(v))
+	}
+	c.MPBWrite(off, buf)
+}
+
+// MPBReadF64s reads n float64 values from the MPB.
+func (c *Core) MPBReadF64s(off int, dst []float64) {
+	buf := make([]byte, 8*len(dst))
+	c.MPBRead(off, buf)
+	for i := range dst {
+		dst[i] = f64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+}
+
+// --- Flags ---
+
+// SetFlag writes one flag byte in the MPB (a full-line write through the
+// WCB, like RCCE's line-sized flags) and wakes any cores waiting on it.
+func (c *Core) SetFlag(off int, v byte) {
+	c.checkMPBRange(off, 1)
+	owner := c.chip.MPBOwner(off)
+	c.mpbLineAccess(owner, false)
+	c.chip.mpb[off] = v
+	c.chip.flagSignal(off).Broadcast(c.chip.Engine)
+	for _, s := range c.chip.anyWaiters[off] {
+		s.Broadcast(c.chip.Engine)
+	}
+}
+
+// ProbeFlag reads and returns the MPB flag byte at off, paying one MPB
+// line read (a non-blocking test).
+func (c *Core) ProbeFlag(off int) byte {
+	c.checkMPBRange(off, 1)
+	c.mpbLineAccess(c.chip.MPBOwner(off), true)
+	return c.chip.mpb[off]
+}
+
+// WaitFlag blocks until the MPB flag byte at off equals want. Every probe
+// pays one MPB read; time spent blocked is recorded in the profile (the
+// paper's rcce_wait_until time). Returns the time spent waiting.
+func (c *Core) WaitFlag(off int, want byte) simtime.Duration {
+	c.checkMPBRange(off, 1)
+	owner := c.chip.MPBOwner(off)
+	begin := c.proc.Now()
+	blocked := false
+	for {
+		c.mpbLineAccess(owner, true)
+		if c.chip.mpb[off] == want {
+			break
+		}
+		blocked = true
+		c.chip.waiting[off]++
+		c.proc.WaitOn(c.chip.flagSignal(off),
+			fmt.Sprintf("core%02d flag@%d==%d", c.ID, off, want))
+		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
+			delete(c.chip.waiting, off)
+		}
+	}
+	waited := c.proc.Now() - begin
+	c.prof.FlagWait += waited
+	if blocked {
+		c.prof.FlagWaits++
+		c.RecordSpan("wait-flag", begin, c.proc.Now())
+	}
+	return waited
+}
+
+// WaitFlagAny blocks until at least one of the MPB flag bytes in offs
+// equals want, and returns the index of the first (lowest-index) match.
+// Each probe round pays one MPB read per checked flag, stopping at the
+// first match (short-circuit polling, like a sequential flag scan on the
+// real core). Used by non-blocking wait-all loops that must make progress
+// on whichever request completes first.
+func (c *Core) WaitFlagAny(offs []int, want byte) int {
+	if len(offs) == 0 {
+		panic("scc: WaitFlagAny with no flags")
+	}
+	begin := c.proc.Now()
+	blocked := false
+	for {
+		for i, off := range offs {
+			c.checkMPBRange(off, 1)
+			c.mpbLineAccess(c.chip.MPBOwner(off), true)
+			if c.chip.mpb[off] == want {
+				waited := c.proc.Now() - begin
+				c.prof.FlagWait += waited
+				if blocked {
+					c.prof.FlagWaits++
+				}
+				return i
+			}
+		}
+		blocked = true
+		c.waitAnyBlock(offs)
+	}
+}
+
+// waitAnyBlock blocks until any of the given flags is written. A single
+// one-shot signal is registered under every offset, so the first write
+// wakes the core exactly once (Broadcast empties the signal's waiter
+// list; later writes find it empty).
+func (c *Core) waitAnyBlock(offs []int) {
+	one := &simtime.Signal{}
+	for _, off := range offs {
+		c.chip.anyWaiters[off] = append(c.chip.anyWaiters[off], one)
+		c.chip.waiting[off]++
+	}
+	c.proc.WaitOn(one, fmt.Sprintf("core%02d any-flag %v", c.ID, offs))
+	for _, off := range offs {
+		c.chip.anyWaiters[off] = removeSignal(c.chip.anyWaiters[off], one)
+		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
+			delete(c.chip.waiting, off)
+		}
+	}
+}
+
+func removeSignal(list []*simtime.Signal, s *simtime.Signal) []*simtime.Signal {
+	for i, v := range list {
+		if v == s {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// notifyFlagWaiters wakes waiters whose flag byte lies inside a bulk MPB
+// write range (a data write can legitimately overwrite a flag area). It
+// scans only offsets that currently have blocked waiters, so the common
+// case (no overlap) is O(blocked cores), not O(all flags).
+func (c *Core) notifyFlagWaiters(off, n int) {
+	if len(c.chip.waiting) == 0 {
+		return
+	}
+	for o := range c.chip.waiting {
+		if o >= off && o < off+n {
+			c.chip.flagSignal(o).Broadcast(c.chip.Engine)
+			for _, s := range c.chip.anyWaiters[o] {
+				s.Broadcast(c.chip.Engine)
+			}
+		}
+	}
+}
+
+// --- MPB-direct reduction (Sec. IV-D) ---
+
+// ReduceMPBToMPB implements the paper's MPB-direct inner loop (Fig. 8):
+// read n float64 operands from srcOff (typically the left neighbor's
+// MPB), combine each with the core's private-memory vector at privAddr,
+// and write results to the core's own MPB at dstOff - without staging
+// through private memory. Costs: per-line remote reads from srcOff,
+// cached private reads, per-element FP work, per-line local writes.
+func (c *Core) ReduceMPBToMPB(srcOff int, privAddr Addr, dstOff, n int, op func(a, b float64) float64) {
+	m := c.chip.Model
+	operand := make([]float64, n)
+	c.MPBReadF64s(srcOff, operand) // remote per-line round trips
+	local := make([]float64, n)
+	c.ReadF64s(privAddr, local) // cached private reads
+	perElem := m.MPBReducePerElementCoreCycles
+	if m.HardwareBugFixed {
+		perElem = m.MPBReduceFixedPerElementCoreCycles
+	}
+	c.ComputeCycles(perElem * int64(n))
+	for i := range operand {
+		operand[i] = op(operand[i], local[i])
+	}
+	c.MPBWriteF64s(dstOff, operand) // local (bug-afflicted) line writes
+}
+
+// --- raw helpers ---
+
+func readF64(b []byte, a Addr) float64 {
+	return f64frombits(binary.LittleEndian.Uint64(b[a:]))
+}
+
+func writeF64(b []byte, a Addr, v float64) {
+	binary.LittleEndian.PutUint64(b[a:], f64bits(v))
+}

@@ -1,0 +1,8 @@
+package scc
+
+import "math"
+
+// f64bits and f64frombits wrap math's bit conversions; isolated here so
+// the data-movement code reads at one level of abstraction.
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

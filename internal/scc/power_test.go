@@ -1,0 +1,104 @@
+package scc
+
+import (
+	"testing"
+
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+func TestDefaultDividerIsStandardPreset(t *testing.T) {
+	chip := New(timing.Default())
+	c := chip.Cores[0]
+	if c.FrequencyDivider() != 3 {
+		t.Fatalf("default divider %d, want 3", c.FrequencyDivider())
+	}
+	if mhz := c.FrequencyMHz(); mhz < 533 || mhz > 534 {
+		t.Fatalf("default frequency %.1f MHz, want ~533", mhz)
+	}
+	// At the preset, one core cycle is exactly simtime.CoreCycles(1).
+	if c.cycleDuration(7) != simtime.CoreCycles(7) {
+		t.Fatal("preset cycle duration diverges from the global constant")
+	}
+}
+
+func TestDividerScalesComputeTime(t *testing.T) {
+	run := func(div int) simtime.Duration {
+		chip := New(timing.Default())
+		var d simtime.Duration
+		chip.LaunchOne(0, func(c *Core) {
+			if div != 0 {
+				c.SetFrequencyDivider(div)
+			}
+			t0 := c.Now()
+			c.ComputeCycles(100000)
+			d = c.Now() - t0
+		})
+		if err := chip.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	base := run(0) // divider 3
+	slow := run(6) // half frequency
+	fast := run(2) // 800 MHz
+	if slow != 2*base {
+		t.Fatalf("divider 6 compute = %v, want 2x of %v", slow, base)
+	}
+	if 3*fast != 2*base {
+		t.Fatalf("divider 2 compute = %v, want 2/3 of %v", fast, base)
+	}
+}
+
+func TestInvalidDividerPanics(t *testing.T) {
+	chip := New(timing.Default())
+	chip.LaunchOne(0, func(c *Core) {
+		c.SetFrequencyDivider(1)
+	})
+	if err := chip.Run(); err == nil {
+		t.Fatal("divider 1 must be rejected (SCC minimum is 2)")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	// Same work at a lower frequency+voltage must cost less energy even
+	// though it takes longer (the DVFS tradeoff).
+	energy := func(div int) float64 {
+		chip := New(timing.Default())
+		var e float64
+		chip.LaunchOne(0, func(c *Core) {
+			if div != 0 {
+				c.SetFrequencyDivider(div)
+			}
+			c.ComputeCycles(1_000_000)
+			e = c.EnergyEstimate()
+		})
+		if err := chip.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	preset := energy(0)
+	slow := energy(8) // 200 MHz at 0.7 V
+	fast := energy(2) // 800 MHz at 1.1 V
+	if preset <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	if slow >= preset {
+		t.Fatalf("slow/low-voltage energy %v not below preset %v", slow, preset)
+	}
+	if fast <= preset {
+		t.Fatalf("fast/high-voltage energy %v not above preset %v", fast, preset)
+	}
+}
+
+func TestVoltageTableMonotone(t *testing.T) {
+	prev := 2.0
+	for div := MinFreqDivider; div <= MaxFreqDivider; div++ {
+		v := voltageFor(div)
+		if v > prev {
+			t.Fatalf("voltage rises with divider at %d: %v > %v", div, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,89 @@
+package scc
+
+import (
+	"fmt"
+
+	"scc/internal/simtime"
+)
+
+// The SCC provides one hardware test-and-set register per core in the
+// tile's configuration-register space. A read returns the current value
+// and atomically clears it (so reading 1 means "lock acquired"); writing
+// 1 releases. RCCE builds its lock API on these; the simulator models
+// the register access like an MPB-port access at the owning tile
+// (same mesh path, no erratum involvement - the registers are in the
+// CRB, not the MPB).
+
+// tasAccess charges one register access at owner's tile.
+func (c *Core) tasAccess(owner int) {
+	m := c.chip.Model
+	hops := c.mpbHops(owner)
+	if hops == 0 {
+		c.flushLocal()
+		c.proc.Sleep(simtime.CoreCycles(m.MPBLocalFastCoreCycles))
+		return
+	}
+	c.flushLocal()
+	c.proc.Sleep(simtime.CoreCycles(m.MPBRemoteBaseCoreCycles) +
+		simtime.MeshCycles(m.MeshHopRoundTripMeshCycles*int64(hops)))
+}
+
+// TASTest performs one test-and-set probe of core target's register:
+// it returns true (and holds the lock) if the register was free.
+func (c *Core) TASTest(target int) bool {
+	if target < 0 || target >= len(c.chip.Cores) {
+		panic(fmt.Sprintf("scc: TAS register %d out of range", target))
+	}
+	c.tasAccess(target)
+	if !c.chip.tasTaken[target] {
+		c.chip.tasTaken[target] = true
+		return true
+	}
+	return false
+}
+
+// TASAcquire spins on core target's test-and-set register until the
+// caller holds it. Blocked spinners are parked on a waiter list and
+// woken by the release (the simulation equivalent of the polling loop,
+// with each wake-up paying one more register probe).
+func (c *Core) TASAcquire(target int) {
+	begin := c.proc.Now()
+	blocked := false
+	for !c.TASTest(target) {
+		blocked = true
+		c.chip.tasWaiting[target]++
+		c.proc.WaitOn(c.chip.tasSignal(target),
+			fmt.Sprintf("core%02d T&S %d", c.ID, target))
+		if c.chip.tasWaiting[target]--; c.chip.tasWaiting[target] == 0 {
+			delete(c.chip.tasWaiting, target)
+		}
+	}
+	waited := c.proc.Now() - begin
+	c.prof.FlagWait += waited
+	if blocked {
+		c.prof.FlagWaits++
+	}
+}
+
+// TASRelease frees core target's register and wakes spinners.
+func (c *Core) TASRelease(target int) {
+	if target < 0 || target >= len(c.chip.Cores) {
+		panic(fmt.Sprintf("scc: TAS register %d out of range", target))
+	}
+	c.tasAccess(target)
+	if !c.chip.tasTaken[target] {
+		panic(fmt.Sprintf("scc: core %d releasing free T&S register %d", c.ID, target))
+	}
+	c.chip.tasTaken[target] = false
+	c.chip.tasSignal(target).Broadcast(c.chip.Engine)
+}
+
+// tasSignal returns the waiter list for a register.
+func (c *Chip) tasSignal(target int) *simtime.Signal {
+	s, ok := c.tasSigs[target]
+	if !ok {
+		s = &simtime.Signal{}
+		c.tasSigs[target] = s
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package scc
+
+import (
+	"testing"
+
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+func TestTASMutualExclusion(t *testing.T) {
+	chip := New(timing.Default())
+	const reg = 7
+	inCritical := 0
+	violations := 0
+	total := 0
+	for _, id := range []int{0, 13, 26, 40} {
+		chip.LaunchOne(id, func(c *Core) {
+			for i := 0; i < 5; i++ {
+				c.TASAcquire(reg)
+				inCritical++
+				if inCritical > 1 {
+					violations++
+				}
+				c.Compute(simtime.Microseconds(3))
+				total++
+				inCritical--
+				c.TASRelease(reg)
+				c.Compute(simtime.Microseconds(1))
+			}
+		})
+	}
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations)
+	}
+	if total != 20 {
+		t.Fatalf("completed %d critical sections, want 20", total)
+	}
+}
+
+func TestTASTestNonBlocking(t *testing.T) {
+	chip := New(timing.Default())
+	chip.LaunchOne(0, func(c *Core) {
+		if !c.TASTest(3) {
+			t.Error("first probe of a free register must succeed")
+		}
+		if c.TASTest(3) {
+			t.Error("second probe of a held register must fail")
+		}
+		c.TASRelease(3)
+		if !c.TASTest(3) {
+			t.Error("probe after release must succeed")
+		}
+		c.TASRelease(3)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTASReleaseOfFreeRegisterFails(t *testing.T) {
+	chip := New(timing.Default())
+	chip.LaunchOne(0, func(c *Core) {
+		c.TASRelease(0)
+	})
+	if err := chip.Run(); err == nil {
+		t.Fatal("releasing a free register should fail the simulation")
+	}
+}
+
+func TestTASRemoteCostsMore(t *testing.T) {
+	chip := New(timing.Default())
+	var local, remote simtime.Duration
+	chip.LaunchOne(0, func(c *Core) {
+		t0 := c.Now()
+		c.TASTest(0) // own tile
+		local = c.Now() - t0
+		t1 := c.Now()
+		c.TASTest(47) // far corner
+		remote = c.Now() - t1
+		c.TASRelease(0)
+		c.TASRelease(47)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if remote <= local {
+		t.Fatalf("remote T&S (%v) not dearer than local (%v)", remote, local)
+	}
+}
+
+func TestTASContentionRecordsWaitTime(t *testing.T) {
+	chip := New(timing.Default())
+	hold := simtime.Microseconds(100)
+	var prof Profile
+	chip.LaunchOne(0, func(c *Core) {
+		c.TASAcquire(5)
+		c.Compute(hold)
+		c.TASRelease(5)
+	})
+	chip.LaunchOne(1, func(c *Core) {
+		c.Compute(simtime.Microseconds(1)) // ensure core 0 grabs it first
+		c.TASAcquire(5)
+		prof = c.Prof()
+		c.TASRelease(5)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if prof.FlagWaits == 0 || prof.FlagWait < hold/2 {
+		t.Fatalf("contention not recorded: %+v", prof)
+	}
+}

@@ -1,0 +1,189 @@
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrDeadlock is returned by Engine.Run when live processes remain but no
+// events are pending, i.e. every remaining process waits on a signal that
+// nobody will ever raise.
+var ErrDeadlock = errors.New("simtime: deadlock")
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: insertion order, for determinism
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. Create one with
+// NewEngine, add processes with Spawn, then call Run.
+//
+// The zero value is not usable.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	procs  []*Proc
+	live   int // processes that have not finished
+	failed error
+
+	// RunUntil state: abort when an event beyond limit is popped.
+	limit   Time
+	limited bool
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time. During Run this is the timestamp
+// of the event being executed.
+func (e *Engine) Now() Time { return e.now }
+
+// Procs returns the processes spawned so far, in spawn order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Spawn registers a new process that will begin executing fn at time 0
+// when Run is called. The name is used in diagnostics. fn runs on its own
+// goroutine but only while the engine has handed it control; it must use
+// the Proc's blocking methods (Sleep, WaitOn, ...) rather than real-time
+// synchronization.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		id:     len(e.procs),
+		name:   name,
+		eng:    e,
+		fn:     fn,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// schedule enqueues a wake-up for p at the given absolute time.
+func (e *Engine) schedule(p *Proc, at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: scheduling %q in the past (%d < %d)", p.name, at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, proc: p})
+}
+
+// Run executes the simulation until every process has returned. It returns
+// ErrDeadlock (wrapped with the list of stuck processes) if live processes
+// remain with no pending events, or the panic value if a process panics.
+//
+// Run may be called again after it returns: processes spawned since the
+// previous Run start at the current virtual time, so a sequence of
+// programs accumulates time on one engine.
+func (e *Engine) Run() error {
+	e.live = 0
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		if !p.started {
+			p.start()
+			e.schedule(p, e.now)
+		}
+		e.live++
+	}
+	for e.live > 0 {
+		if e.queue.Len() == 0 {
+			err := e.deadlockError()
+			e.shutdown()
+			return err
+		}
+		ev := heap.Pop(&e.queue).(event)
+		if ev.proc.done {
+			continue // stale wake-up for a finished process
+		}
+		if e.limited && ev.at > e.limit {
+			err := fmt.Errorf("%w: next event at %v > limit %v", ErrTimeLimit, ev.at, e.limit)
+			e.shutdown()
+			return err
+		}
+		e.now = ev.at
+		ev.proc.runOnce()
+		if ev.proc.done {
+			e.live--
+		}
+		if e.failed != nil {
+			err := e.failed
+			e.shutdown()
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil executes like Run but aborts (with ErrTimeLimit) as soon as
+// virtual time would pass the limit. A guard against livelocked
+// simulated programs (e.g. a protocol that makes "progress" by
+// re-polling forever): the abort fires on the first event beyond the
+// limit, leaving state consistent up to that point.
+func (e *Engine) RunUntil(limit Time) error {
+	e.limit = limit
+	e.limited = true
+	defer func() { e.limited = false }()
+	return e.Run()
+}
+
+// ErrTimeLimit is returned by RunUntil when the virtual clock passes the
+// given limit before all processes finish.
+var ErrTimeLimit = errors.New("simtime: virtual time limit exceeded")
+
+// shutdown force-terminates every still-blocked process goroutine so that
+// a failed simulation does not leak goroutines. Each victim is resumed
+// once with its killed flag set; Proc.block panics with killSentinel,
+// which the process wrapper swallows.
+func (e *Engine) shutdown() {
+	for _, p := range e.procs {
+		if !p.done && p.started {
+			p.killed = true
+			p.runOnce()
+		}
+	}
+}
+
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.done {
+			where := p.blockedAt
+			if where == "" {
+				where = "unknown"
+			}
+			stuck = append(stuck, fmt.Sprintf("%s (waiting: %s)", p.name, where))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("%w at t=%v: %d stuck processes: %s",
+		ErrDeadlock, e.now, len(stuck), strings.Join(stuck, ", "))
+}

@@ -1,0 +1,127 @@
+package simtime
+
+import "fmt"
+
+// Proc is a simulated process. All methods must be called from within the
+// process's own function (the fn passed to Engine.Spawn); they cooperate
+// with the engine to advance virtual time.
+type Proc struct {
+	id   int
+	name string
+	eng  *Engine
+	fn   func(*Proc)
+
+	resume chan struct{} // engine -> proc: you may run
+	yield  chan struct{} // proc -> engine: I am blocked or done
+
+	done      bool
+	killed    bool   // set by Engine.shutdown to abort the goroutine
+	blockedAt string // description of the current blocking point, for deadlock reports
+	started   bool
+}
+
+// killSentinel is the panic value used to unwind force-terminated process
+// goroutines during Engine.shutdown.
+type killSentinel struct{}
+
+// ID returns the process's spawn index (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// start launches the process goroutine. The goroutine immediately blocks
+// waiting for its first resume.
+func (p *Proc) start() {
+	if p.started {
+		panic("simtime: process started twice")
+	}
+	p.started = true
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killSentinel); !isKill && p.eng.failed == nil {
+					p.eng.failed = fmt.Errorf("simtime: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		if p.killed {
+			return
+		}
+		p.fn(p)
+	}()
+}
+
+// runOnce hands control to the process goroutine and waits for it to block
+// again (or finish). Called only by the engine loop.
+func (p *Proc) runOnce() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block yields control back to the engine and waits to be resumed. The
+// caller must have arranged for a future wake-up (a scheduled event or a
+// signal registration) first.
+func (p *Proc) block(where string) {
+	p.blockedAt = where
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	p.blockedAt = ""
+}
+
+// Sleep advances the process's virtual time by d ticks. Negative or zero
+// durations return immediately without yielding... except d == 0, which
+// still yields so that same-time events from other processes interleave
+// deterministically by schedule order.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	// A sleeping process always has a pending wake-up, so it can never
+	// appear in a deadlock report; skip building a description.
+	p.block("sleep")
+}
+
+// Yield gives other processes scheduled at the current instant a chance to
+// run before this one continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// WaitOn blocks the process until s is signaled. The process wakes at the
+// virtual time of the Signal call. The where string appears in deadlock
+// diagnostics.
+func (p *Proc) WaitOn(s *Signal, where string) {
+	s.waiters = append(s.waiters, p)
+	p.block(where)
+}
+
+// Signal is a broadcast wake-up point: processes block on it with WaitOn
+// and are all released by Broadcast. The zero value is ready to use.
+type Signal struct {
+	waiters []*Proc
+}
+
+// Broadcast wakes every process currently waiting on s at the present
+// virtual time. It must be called from within a running process or before
+// Run starts. Waiters resume in the order they began waiting.
+func (s *Signal) Broadcast(eng *Engine) {
+	for _, w := range s.waiters {
+		eng.schedule(w, eng.now)
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// Waiters reports how many processes are currently blocked on s.
+func (s *Signal) Waiters() int { return len(s.waiters) }

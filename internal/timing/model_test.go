@@ -1,0 +1,118 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scc/internal/simtime"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	m := Default()
+	if m.NumTiles() != 24 || m.NumCores() != 48 {
+		t.Fatalf("geometry %d tiles / %d cores, want 24/48", m.NumTiles(), m.NumCores())
+	}
+	if m.MPBTotalBytes() != 384*1024 {
+		t.Fatalf("MPB total = %d, want 384 KB (Sec. II)", m.MPBTotalBytes())
+	}
+}
+
+func TestLines(t *testing.T) {
+	m := Default()
+	cases := []struct{ bytes, want int }{
+		{0, 0}, {1, 1}, {32, 1}, {33, 2}, {64, 2}, {65, 3},
+	}
+	for _, c := range cases {
+		if got := m.Lines(c.bytes); got != c.want {
+			t.Errorf("Lines(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestPaperLatencyAnchors(t *testing.T) {
+	m := Default()
+	// Sec. IV-D: local MPB with the erratum workaround costs 45 core
+	// cycles + 8 mesh cycles; with the bug fixed, 15 core cycles.
+	if got := m.MPBAccess(0, true); got != simtime.CoreCycles(45)+simtime.MeshCycles(8) {
+		t.Fatalf("buggy local access = %v", got)
+	}
+	fixed := Default()
+	fixed.HardwareBugFixed = true
+	if got := fixed.MPBAccess(0, true); got != simtime.CoreCycles(15) {
+		t.Fatalf("fixed local access = %v", got)
+	}
+	// Off-chip: 40 core cycles + 8d mesh cycles (+ DRAM array time).
+	d0 := m.DRAMAccess(0)
+	d3 := m.DRAMAccess(3)
+	if d3-d0 != simtime.MeshCycles(8*3) {
+		t.Fatalf("DRAM distance term = %v, want 24 mesh cycles", d3-d0)
+	}
+}
+
+func TestMPBAccessMonotoneInHops(t *testing.T) {
+	m := Default()
+	f := func(h uint8) bool {
+		hops := int(h%8) + 1
+		return m.MPBAccess(hops+1, true) > m.MPBAccess(hops, true) &&
+			m.MPBAccess(hops+1, false) > m.MPBAccess(hops, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadsCostMoreThanWrites(t *testing.T) {
+	// Remote reads are round trips; posted writes are one-way.
+	m := Default()
+	for hops := 1; hops <= 8; hops++ {
+		if m.MPBAccess(hops, true) <= m.MPBAccess(hops, false) {
+			t.Fatalf("read not dearer than write at %d hops", hops)
+		}
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	cases := []func(*Model){
+		func(m *Model) { m.MeshWidth = 0 },
+		func(m *Model) { m.CoresPerTile = -1 },
+		func(m *Model) { m.CacheLineBytes = 20 },
+		func(m *Model) { m.MPBBytesPerCore = 16 },
+		func(m *Model) { m.L2Bytes = m.L1DataBytes - 1 },
+		func(m *Model) { m.MeshLinkBytesPerCycle = 0 },
+	}
+	for i, mutate := range cases {
+		m := Default()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestLineSerialization(t *testing.T) {
+	m := Default()
+	if got := m.LineSerializationMeshCycles(); got != 2 {
+		t.Fatalf("32B over 16B/cycle links = %d cycles, want 2", got)
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	// The calibrated constants must preserve the paper's qualitative
+	// ordering: lightweight < blocking-ish <= iRCCE << RCKMPI.
+	m := Default()
+	if !(m.OverheadLightweightPost < m.OverheadIRCCEPost) {
+		t.Fatal("lightweight post must be cheaper than iRCCE post (Sec. IV-B)")
+	}
+	if !(m.OverheadLightweightWait < m.OverheadIRCCEWait) {
+		t.Fatal("lightweight wait must be cheaper than iRCCE wait")
+	}
+	if !(m.OverheadIRCCEPost < m.OverheadRCKMPICall) {
+		t.Fatal("iRCCE must be cheaper than full MPI per call (Sec. III)")
+	}
+}

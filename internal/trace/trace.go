@@ -1,0 +1,182 @@
+// Package trace records labeled time spans from simulated cores and
+// renders them as ASCII timelines - the reproduction of the paper's
+// protocol diagrams (Fig. 4: blocking odd-even ordering with its
+// barrier-like synchronization; Fig. 5: non-blocking primitives
+// overlapping the copies).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"scc/internal/simtime"
+)
+
+// Span is one labeled interval on one core's timeline.
+type Span struct {
+	Core  int
+	Label string
+	Start simtime.Time
+	End   simtime.Time
+}
+
+// Recorder collects spans. The simulation engine runs one core at a
+// time, so no locking is needed. The zero value is ready to use.
+type Recorder struct {
+	spans []Span
+}
+
+// Record appends one span.
+func (r *Recorder) Record(core int, label string, start, end simtime.Time) {
+	r.spans = append(r.spans, Span{Core: core, Label: label, Start: start, End: end})
+}
+
+// Hook returns a per-core recording closure suitable for
+// scc.Core.SetSpanRecorder.
+func (r *Recorder) Hook(core int) func(label string, start, end simtime.Time) {
+	return func(label string, start, end simtime.Time) {
+		r.Record(core, label, start, end)
+	}
+}
+
+// Spans returns everything recorded, ordered by start time.
+func (r *Recorder) Spans() []Span {
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Reset discards all spans.
+func (r *Recorder) Reset() { r.spans = r.spans[:0] }
+
+// symbolFor maps a span label to its one-character timeline mark.
+func symbolFor(label string) byte {
+	switch {
+	case strings.HasPrefix(label, "wait"):
+		return '.'
+	case strings.HasPrefix(label, "put"):
+		return 'P'
+	case strings.HasPrefix(label, "get"):
+		return 'G'
+	case strings.HasPrefix(label, "send"):
+		return 'S'
+	case strings.HasPrefix(label, "recv"):
+		return 'R'
+	case strings.HasPrefix(label, "compute"), strings.HasPrefix(label, "reduce"):
+		return 'C'
+	case strings.HasPrefix(label, "flag"):
+		return 'f'
+	default:
+		return '#'
+	}
+}
+
+// Render draws one row per core over width character cells, with later
+// spans overwriting earlier ones within a cell. A legend and the time
+// range are appended.
+func Render(w io.Writer, spans []Span, width int) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans recorded)")
+		return err
+	}
+	if width < 10 {
+		width = 10
+	}
+	minT, maxT := spans[0].Start, spans[0].End
+	cores := map[int]bool{}
+	for _, s := range spans {
+		if s.Start < minT {
+			minT = s.Start
+		}
+		if s.End > maxT {
+			maxT = s.End
+		}
+		cores[s.Core] = true
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	ids := make([]int, 0, len(cores))
+	for id := range cores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	rows := make(map[int][]byte, len(ids))
+	for _, id := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		rows[id] = row
+	}
+	scale := func(t simtime.Time) int {
+		c := int(int64(t-minT) * int64(width) / int64(maxT-minT))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, s := range spans {
+		row := rows[s.Core]
+		a, b := scale(s.Start), scale(s.End)
+		sym := symbolFor(s.Label)
+		for i := a; i <= b; i++ {
+			row[i] = sym
+		}
+	}
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(w, "core %2d |%s|\n", id, rows[id]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"         %-*s\n  legend: S=send R=recv P=put(copy to MPB) G=get(copy from MPB) C=compute .=waiting f=flag\n  span: %v .. %v (%v)\n",
+		width, fmt.Sprintf("t=%v%*s t=%v", minT, width-24, "", maxT),
+		minT, maxT, maxT-minT)
+	return err
+}
+
+// WaitShare computes the fraction of the busy interval each core spent
+// in wait spans - the quantity behind the paper's "up to 50% of their
+// time in rcce_wait_until".
+func WaitShare(spans []Span) map[int]float64 {
+	type agg struct {
+		wait, total simtime.Duration
+		min, max    simtime.Time
+		init        bool
+	}
+	byCore := map[int]*agg{}
+	for _, s := range spans {
+		a := byCore[s.Core]
+		if a == nil {
+			a = &agg{}
+			byCore[s.Core] = a
+		}
+		d := s.End - s.Start
+		a.total += d
+		if strings.HasPrefix(s.Label, "wait") {
+			a.wait += d
+		}
+		if !a.init || s.Start < a.min {
+			a.min = s.Start
+		}
+		if !a.init || s.End > a.max {
+			a.max = s.End
+			a.init = true
+		}
+	}
+	out := map[int]float64{}
+	for id, a := range byCore {
+		span := a.max - a.min
+		if span <= 0 {
+			out[id] = 0
+			continue
+		}
+		out[id] = float64(a.wait) / float64(span)
+	}
+	return out
+}

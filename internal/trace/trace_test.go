@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"scc/internal/simtime"
+)
+
+func us(n int64) simtime.Time { return simtime.Microseconds(n) }
+
+func TestRecorderOrdersSpans(t *testing.T) {
+	var r Recorder
+	r.Record(1, "put", us(10), us(20))
+	r.Record(0, "wait-flag", us(0), us(15))
+	r.Record(1, "get", us(20), us(30))
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Label != "wait-flag" || spans[0].Core != 0 {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHook(t *testing.T) {
+	var r Recorder
+	h := r.Hook(7)
+	h("send", us(1), us(2))
+	if s := r.Spans(); len(s) != 1 || s[0].Core != 7 || s[0].Label != "send" {
+		t.Fatalf("hook recorded %+v", s)
+	}
+}
+
+func TestRenderProducesRows(t *testing.T) {
+	var r Recorder
+	r.Record(0, "put", us(0), us(50))
+	r.Record(0, "wait-flag", us(50), us(100))
+	r.Record(1, "get", us(25), us(75))
+	var sb strings.Builder
+	if err := Render(&sb, r.Spans(), 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "core  0 |") || !strings.Contains(out, "core  1 |") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "P") || !strings.Contains(out, ".") || !strings.Contains(out, "G") {
+		t.Fatalf("missing symbols:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Fatal("empty render message missing")
+	}
+}
+
+func TestWaitShare(t *testing.T) {
+	var r Recorder
+	// Core 0: busy 0..100, waiting 0..50 -> 50%.
+	r.Record(0, "wait-flag", us(0), us(50))
+	r.Record(0, "put", us(50), us(100))
+	// Core 1: no waits.
+	r.Record(1, "get", us(0), us(100))
+	share := WaitShare(r.Spans())
+	if s := share[0]; s < 0.49 || s > 0.51 {
+		t.Fatalf("core 0 wait share = %v, want 0.5", s)
+	}
+	if s := share[1]; s != 0 {
+		t.Fatalf("core 1 wait share = %v, want 0", s)
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	cases := map[string]byte{
+		"wait-flag": '.',
+		"put":       'P',
+		"get":       'G',
+		"send":      'S',
+		"recv":      'R',
+		"compute":   'C',
+		"reduce":    'C',
+		"flag-set":  'f',
+		"other":     '#',
+	}
+	for label, want := range cases {
+		if got := symbolFor(label); got != want {
+			t.Errorf("symbolFor(%q) = %c, want %c", label, got, want)
+		}
+	}
+}

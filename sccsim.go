@@ -1,0 +1,343 @@
+package sccsim
+
+import (
+	"fmt"
+
+	"scc/internal/core"
+	"scc/internal/rcce"
+	"scc/internal/rckmpi"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// Duration is virtual time on the simulated chip. It converts to wall
+// units with Micros, Millis and Seconds.
+type Duration = simtime.Duration
+
+// Addr addresses a rank's private memory.
+type Addr = scc.Addr
+
+// Stack selects the communication stack, in the order the paper's
+// figures list them.
+type Stack int
+
+// The measured stacks of the paper.
+const (
+	// StackBlocking is plain RCCE + RCCE_comm: blocking send/receive
+	// with odd-even ordering (the baseline all speedups refer to).
+	StackBlocking Stack = iota
+	// StackIRCCE relaxes synchronization with iRCCE's non-blocking
+	// primitives (Sec. IV-A).
+	StackIRCCE
+	// StackLightweight uses the paper's lightweight non-blocking
+	// primitives (Sec. IV-B).
+	StackLightweight
+	// StackLightweightBalanced adds load-balanced block partitioning
+	// (Sec. IV-C).
+	StackLightweightBalanced
+	// StackMPB additionally runs Allreduce directly on the MPBs with
+	// double buffering (Sec. IV-D).
+	StackMPB
+	// StackRCKMPI is the MPICH-based comparator (Sec. III).
+	StackRCKMPI
+)
+
+// String names the stack like the paper's figure legends.
+func (s Stack) String() string {
+	switch s {
+	case StackBlocking:
+		return "blocking"
+	case StackIRCCE:
+		return "iRCCE"
+	case StackLightweight:
+		return "lightweight non-blocking"
+	case StackLightweightBalanced:
+		return "lightweight non-blocking, balanced"
+	case StackMPB:
+		return "MPB-based Allreduce"
+	case StackRCKMPI:
+		return "RCKMPI"
+	default:
+		return fmt.Sprintf("Stack(%d)", int(s))
+	}
+}
+
+// Stacks lists all six stacks in presentation order.
+func Stacks() []Stack {
+	return []Stack{StackRCKMPI, StackBlocking, StackIRCCE,
+		StackLightweight, StackLightweightBalanced, StackMPB}
+}
+
+// coreConfig maps a Stack to the collectives configuration (not
+// meaningful for StackRCKMPI).
+func (s Stack) coreConfig() core.Config {
+	switch s {
+	case StackBlocking:
+		return core.ConfigBlocking
+	case StackIRCCE:
+		return core.ConfigIRCCE
+	case StackLightweight:
+		return core.ConfigLightweight
+	case StackLightweightBalanced:
+		return core.ConfigBalanced
+	case StackMPB:
+		return core.ConfigMPB
+	default:
+		return core.ConfigBalanced
+	}
+}
+
+// config collects construction options.
+type config struct {
+	model *timing.Model
+	stack Stack
+}
+
+// Option customizes a System.
+type Option func(*config)
+
+// WithStack selects the communication stack (default
+// StackLightweightBalanced, the paper's best general-purpose
+// configuration).
+func WithStack(s Stack) Option { return func(c *config) { c.stack = s } }
+
+// WithModel supplies a custom timing model (default timing.Default(),
+// the paper's standard preset: 533 MHz cores, 800 MHz mesh and DRAM).
+func WithModel(m *timing.Model) Option { return func(c *config) { c.model = m } }
+
+// WithHardwareBugFixed removes the SCC's local-MPB erratum workaround,
+// probing the paper's prediction that fixed silicon would make the
+// MPB-direct Allreduce win clearly (Sec. IV-D).
+func WithHardwareBugFixed() Option {
+	return func(c *config) {
+		m := *c.model
+		m.HardwareBugFixed = true
+		c.model = &m
+	}
+}
+
+// System is one simulated SCC ready to run SPMD programs.
+type System struct {
+	cfg  config
+	chip *scc.Chip
+	comm *rcce.Comm
+}
+
+// New builds a simulated SCC. Options default to the paper's hardware
+// and the lightweight balanced stack.
+func New(opts ...Option) *System {
+	cfg := config{model: timing.Default(), stack: StackLightweightBalanced}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	chip := scc.New(cfg.model)
+	return &System{cfg: cfg, chip: chip, comm: rcce.NewComm(chip)}
+}
+
+// NumCores returns the core count (48).
+func (s *System) NumCores() int { return s.chip.NumCores() }
+
+// Model exposes the timing model in use.
+func (s *System) Model() *timing.Model { return s.chip.Model }
+
+// Stack returns the configured communication stack.
+func (s *System) Stack() Stack { return s.cfg.stack }
+
+// Run executes program on every core simultaneously (SPMD) and blocks
+// until the virtual machine is idle. It returns the simulation error
+// (nil, deadlock, or a propagated panic from the program). A System can
+// run several programs in sequence; virtual time keeps advancing.
+func (s *System) Run(program func(r *Rank)) error {
+	s.chip.Launch(func(c *scc.Core) {
+		program(s.newRank(c))
+	})
+	return s.chip.Run()
+}
+
+// Elapsed reports the chip's virtual time.
+func (s *System) Elapsed() Duration { return s.chip.Now() }
+
+// Rank is the per-core handle inside a Run program: private memory,
+// compute-time charging, and the collective operations of the selected
+// stack.
+type Rank struct {
+	core *scc.Core
+	ue   *rcce.UE
+	ctx  *core.Ctx   // nil for RCKMPI
+	mpi  *rckmpi.Lib // nil for core stacks
+}
+
+func (s *System) newRank(c *scc.Core) *Rank {
+	r := &Rank{core: c, ue: s.comm.UE(c.ID)}
+	if s.cfg.stack == StackRCKMPI {
+		r.mpi = rckmpi.New(r.ue)
+	} else {
+		r.ctx = core.NewCtx(r.ue, s.cfg.stack.coreConfig())
+	}
+	return r
+}
+
+// ID returns this rank's core number (0..47).
+func (r *Rank) ID() int { return r.core.ID }
+
+// N returns the number of ranks.
+func (r *Rank) N() int { return r.ue.NumUEs() }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() Duration { return Duration(r.core.Now()) }
+
+// AllocF64 reserves private memory for n float64 values.
+func (r *Rank) AllocF64(n int) Addr { return r.core.AllocF64(n) }
+
+// WriteF64s stores src at addr (cache-priced).
+func (r *Rank) WriteF64s(addr Addr, src []float64) { r.core.WriteF64s(addr, src) }
+
+// ReadF64s loads len(dst) values from addr (cache-priced).
+func (r *Rank) ReadF64s(addr Addr, dst []float64) { r.core.ReadF64s(addr, dst) }
+
+// ComputeCycles charges n core clock cycles of pure computation.
+func (r *Rank) ComputeCycles(n int64) { r.core.ComputeCycles(n) }
+
+// Profile returns the rank's instrumentation counters.
+func (r *Rank) Profile() scc.Profile { return r.core.Prof() }
+
+// Barrier synchronizes all ranks.
+func (r *Rank) Barrier() { r.ue.Barrier() }
+
+// Allreduce sums n float64 values element-wise across all ranks,
+// leaving the full result at dst on every rank.
+func (r *Rank) Allreduce(src, dst Addr, n int) {
+	if r.mpi != nil {
+		r.mpi.Allreduce(src, dst, n, func(a, b float64) float64 { return a + b })
+		return
+	}
+	r.ctx.Allreduce(src, dst, n, core.Sum)
+}
+
+// AllreduceOp is Allreduce with a custom associative operator.
+func (r *Rank) AllreduceOp(src, dst Addr, n int, op func(a, b float64) float64) {
+	if r.mpi != nil {
+		r.mpi.Allreduce(src, dst, n, op)
+		return
+	}
+	r.ctx.Allreduce(src, dst, n, core.Op(op))
+}
+
+// Reduce reduces to the root rank only.
+func (r *Rank) Reduce(root int, src, dst Addr, n int) {
+	if r.mpi != nil {
+		r.mpi.Reduce(root, src, dst, n, func(a, b float64) float64 { return a + b })
+		return
+	}
+	r.ctx.Reduce(root, src, dst, n, core.Sum)
+}
+
+// Broadcast distributes n values at addr from root to every rank.
+func (r *Rank) Broadcast(root int, addr Addr, n int) {
+	if r.mpi != nil {
+		r.mpi.Bcast(root, addr, n)
+		return
+	}
+	r.ctx.Broadcast(root, addr, n)
+}
+
+// Allgather concatenates each rank's nPer values into dst (N()*nPer,
+// rank-ordered) on every rank.
+func (r *Rank) Allgather(src Addr, nPer int, dst Addr) {
+	if r.mpi != nil {
+		r.mpi.Allgather(src, nPer, dst)
+		return
+	}
+	r.ctx.Allgather(src, nPer, dst)
+}
+
+// Alltoall exchanges nPer-value blocks between every pair of ranks.
+func (r *Rank) Alltoall(src, dst Addr, nPer int) {
+	if r.mpi != nil {
+		r.mpi.Alltoall(src, dst, nPer)
+		return
+	}
+	r.ctx.Alltoall(src, dst, nPer)
+}
+
+// ReduceScatter reduces element-wise and scatters blocks; dst receives
+// this rank's block of the partition.
+func (r *Rank) ReduceScatter(src, dst Addr, n int) {
+	if r.mpi != nil {
+		r.mpi.ReduceScatter(src, dst, n, func(a, b float64) float64 { return a + b })
+		return
+	}
+	r.ctx.ReduceScatter(src, dst, n, core.Sum)
+}
+
+// Scatter distributes block q of the root's src buffer (N()*nPer
+// values) to rank q's dst. src is only read on the root. (RCKMPI
+// implements scatter as a degenerate alltoall through its channel.)
+func (r *Rank) Scatter(root int, src Addr, nPer int, dst Addr) {
+	if r.mpi != nil {
+		if r.ID() == root {
+			for q := 0; q < r.N(); q++ {
+				if q == root {
+					v := make([]float64, nPer)
+					r.core.ReadF64s(src+Addr(8*nPer*q), v)
+					r.core.WriteF64s(dst, v)
+					continue
+				}
+				r.mpi.Send(q, src+Addr(8*nPer*q), 8*nPer)
+			}
+			return
+		}
+		r.mpi.Recv(root, dst, 8*nPer)
+		return
+	}
+	r.ctx.Scatter(root, src, nPer, dst)
+}
+
+// Gather collects each rank's nPer values into the root's dst buffer,
+// rank-ordered. dst is only written on the root.
+func (r *Rank) Gather(root int, src Addr, nPer int, dst Addr) {
+	if r.mpi != nil {
+		if r.ID() == root {
+			for q := 0; q < r.N(); q++ {
+				if q == root {
+					v := make([]float64, nPer)
+					r.core.ReadF64s(src, v)
+					r.core.WriteF64s(dst+Addr(8*nPer*q), v)
+					continue
+				}
+				r.mpi.Recv(q, dst+Addr(8*nPer*q), 8*nPer)
+			}
+			return
+		}
+		r.mpi.Send(root, src, 8*nPer)
+		return
+	}
+	r.ctx.Gather(root, src, nPer, dst)
+}
+
+// Scan computes an inclusive prefix sum: rank k's dst receives the
+// element-wise sum of ranks 0..k. Only available on the RCCE-based
+// stacks (RCKMPI's scan is out of the comparator's scope).
+func (r *Rank) Scan(src, dst Addr, n int) {
+	if r.mpi != nil {
+		panic("sccsim: Scan is not implemented by the RCKMPI comparator")
+	}
+	r.ctx.Scan(src, dst, n, core.Sum)
+}
+
+// SetFrequencyDivider changes this rank's core clock divider
+// (RCCE_power-style DVFS; the SCC derives tile clocks from a 1600 MHz
+// root, divider 3 = the 533 MHz standard preset). It returns the new
+// frequency in MHz. Compute charges and the energy estimate scale
+// accordingly; the mesh and memory stay in their own clock domain.
+func (r *Rank) SetFrequencyDivider(div int) float64 {
+	return r.core.SetFrequencyDivider(div)
+}
+
+// FrequencyMHz reports the rank's current core clock.
+func (r *Rank) FrequencyMHz() float64 { return r.core.FrequencyMHz() }
+
+// EnergyEstimate reports the rank's accumulated compute energy in
+// preset-power-seconds (1.0 = one second of compute at 533 MHz).
+func (r *Rank) EnergyEstimate() float64 { return r.core.EnergyEstimate() }
