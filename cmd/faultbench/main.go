@@ -1,0 +1,87 @@
+// Command faultbench regenerates the robustness evaluation ("Fig. R1"):
+// completion latency of a hardened 48-core Allreduce against the number
+// of injected faults, for the blocking and lightweight transports. All
+// faults are drawn deterministically from -seed, so two runs with the
+// same flags produce bit-identical output.
+//
+// Examples:
+//
+//	faultbench                         # default sweep, 552 doubles
+//	faultbench -seed 7 -n 1000         # different fault history and size
+//	faultbench -faults 0,1,2,4,8,16,32 # denser fault axis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scc/internal/bench"
+	"scc/internal/core"
+	"scc/internal/rcce"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "fault-plan seed (same seed: bit-identical output)")
+	n := flag.Int("n", 552, "vector size in doubles (552 is the paper's thermodynamic application)")
+	faultsFlag := flag.String("faults", "0,1,2,4,8,16", "comma-separated fault counts to sweep")
+	timeoutUs := flag.Int64("timeout", 300, "retransmit timeout in microseconds")
+	retries := flag.Int("retries", 8, "retransmit attempts before a peer is declared unreachable")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "faultbench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n < 1 {
+		fail("-n must be at least 1, got %d", *n)
+	}
+	if *timeoutUs < 1 {
+		fail("-timeout must be at least 1us, got %d", *timeoutUs)
+	}
+	if *retries < 1 {
+		fail("-retries must be at least 1, got %d", *retries)
+	}
+	counts, err := parseCounts(*faultsFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	model := timing.Default()
+	pol := rcce.Policy{Timeout: simtime.Microseconds(*timeoutUs), Backoff: 2, MaxRetries: *retries}
+	fmt.Printf("Fig. R1: hardened Allreduce, 48 cores, %d doubles, seed %d\n", *n, *seed)
+	fmt.Printf("(completion latency vs injected fault count; timeout %dus, %d retries)\n\n",
+		*timeoutUs, *retries)
+	for _, kind := range []core.TransportKind{core.TransportBlocking, core.TransportLightweight} {
+		points := bench.FaultSweep(model, kind, pol, *seed, *n, counts)
+		if err := bench.WriteFaultTable(os.Stdout, "transport: "+kind.String(), points); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("-faults entries must be non-negative integers, got %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-faults must list at least one count")
+	}
+	return out, nil
+}

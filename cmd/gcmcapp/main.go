@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"scc/internal/bench"
@@ -23,6 +24,17 @@ func main() {
 	particles := flag.Int("particles", 0, "override particle count (0 = default workload)")
 	seed := flag.Int64("seed", 1, "Monte Carlo seed")
 	flag.Parse()
+
+	if *cycles < 1 {
+		fmt.Fprintf(os.Stderr, "gcmcapp: -cycles must be at least 1, got %d\n", *cycles)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *particles < 0 {
+		fmt.Fprintf(os.Stderr, "gcmcapp: -particles must be non-negative, got %d\n", *particles)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	p := gcmc.DefaultParams()
 	p.Cycles = *cycles

@@ -32,6 +32,24 @@ func main() {
 	bugfixed := flag.Bool("bugfixed", false, "simulate the chip with the local-MPB erratum fixed (Sec. IV-D ablation)")
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sccbench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *lo < 0 {
+		fail("-lo must be non-negative, got %d", *lo)
+	}
+	if *hi < *lo {
+		fail("-hi (%d) must be at least -lo (%d)", *hi, *lo)
+	}
+	if *step < 1 {
+		fail("-step must be at least 1, got %d", *step)
+	}
+	if *reps < 1 {
+		fail("-reps must be at least 1, got %d", *reps)
+	}
+
 	model := timing.Default()
 	model.HardwareBugFixed = *bugfixed
 
@@ -49,8 +67,7 @@ func main() {
 	if *op == "all" {
 		ops = bench.AllOps()
 	} else if !validOp(bench.Op(*op)) {
-		fmt.Fprintf(os.Stderr, "unknown op %q\n", *op)
-		os.Exit(2)
+		fail("unknown op %q", *op)
 	}
 
 	sizes := bench.Sizes(*lo, *hi, *step)

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"scc/internal/core"
+	"scc/internal/fault"
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// This file measures the robustness evaluation ("Fig. R1"): completion
+// latency of a hardened 48-core Allreduce as a function of the injected
+// fault count, per transport. Faults are drawn deterministically from a
+// seed, so every point — including the measured recovery latency — is
+// bit-identical across runs with the same seed.
+
+// FaultPoint is one sample of the fault-rate sweep.
+type FaultPoint struct {
+	Faults  int                // injected fault count
+	Fired   int                // faults that actually took effect
+	Latency simtime.Duration   // completion latency of the collective
+	Stats   rcce.RecoveryStats // chip-wide recovery work
+	Errs    int                // cores whose collective returned an error
+	Wrong   int                // cores that completed with incorrect sums
+}
+
+// measureFaultedAllreduce runs one hardened 48-core Allreduce of n
+// doubles under the given plan (nil = fault-free) and reports completion
+// latency, aggregated recovery statistics and honest failure counts.
+func measureFaultedAllreduce(model *timing.Model, kind core.TransportKind, pol rcce.Policy, plan *fault.Plan, n int) FaultPoint {
+	chip := scc.New(model)
+	fired := 0
+	if plan != nil {
+		fault.Install(chip, plan)
+	}
+	comm := rcce.NewComm(chip)
+	cfg := core.Config{Transport: kind, Balanced: true, Recovery: &pol}
+	p := chip.NumCores()
+	want := make([]float64, n)
+	for id := 0; id < p; id++ {
+		for i := 0; i < n; i++ {
+			want[i] += float64(id+1) + float64(i)*0.5
+		}
+	}
+	pt := FaultPoint{}
+	chip.Launch(func(c *scc.Core) {
+		x := core.NewCtx(comm.UE(c.ID), cfg)
+		src := c.AllocF64(n)
+		dst := c.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(c.ID+1) + float64(i)*0.5
+		}
+		c.WriteF64s(src, v)
+		err := x.Allreduce(src, dst, n, core.Sum)
+		pt.Stats.Add(x.UE().Recovery())
+		if err != nil {
+			pt.Errs++ // honest: this core gave up (e.g. rcce.ErrUnreachable)
+			return
+		}
+		got := make([]float64, n)
+		c.ReadF64s(dst, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				pt.Wrong++
+				return
+			}
+		}
+	})
+	if err := chip.Run(); err != nil {
+		// A deadlock under the hardened protocol would be a bug; count
+		// every core as failed rather than hiding it.
+		pt.Errs = p
+	}
+	if plan != nil {
+		fired = len(plan.Events())
+	}
+	pt.Fired = fired
+	pt.Latency = simtime.Duration(chip.Now())
+	return pt
+}
+
+// FaultSweep measures completion latency vs injected fault count for one
+// transport. The fault-free point (count 0) doubles as the horizon
+// estimate: random fault activation times are drawn from the fault-free
+// run length, so higher counts genuinely overlap the collective. Each
+// count derives its own deterministic sub-seed, so adding a count to the
+// sweep never perturbs the other points.
+func FaultSweep(model *timing.Model, kind core.TransportKind, pol rcce.Policy, seed int64, n int, counts []int) []FaultPoint {
+	base := measureFaultedAllreduce(model, kind, pol, nil, n)
+	horizon := base.Latency
+	out := make([]FaultPoint, 0, len(counts))
+	for _, count := range counts {
+		if count == 0 {
+			out = append(out, base)
+			continue
+		}
+		plan := fault.Random(seed+int64(count)*7919, count, horizon, model)
+		pt := measureFaultedAllreduce(model, kind, pol, plan, n)
+		pt.Faults = count
+		out = append(out, pt)
+	}
+	return out
+}
+
+// WriteFaultTable renders one transport's sweep as an aligned table
+// (the "Fig. R1" deliverable).
+func WriteFaultTable(w io.Writer, title string, points []FaultPoint) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %8s  %12s  %9s  %8s  %11s  %11s  %6s  %6s\n",
+		"faults", "fired", "latency", "slowdown", "timeouts", "retransmits", "recovery", "errs", "wrong"); err != nil {
+		return err
+	}
+	var base float64
+	for i, pt := range points {
+		if i == 0 {
+			base = pt.Latency.Micros()
+		}
+		slow := 0.0
+		if base > 0 {
+			slow = pt.Latency.Micros() / base
+		}
+		if _, err := fmt.Fprintf(w, "%8d  %8d  %10.2fus  %8.2fx  %8d  %11d  %9.2fus  %6d  %6d\n",
+			pt.Faults, pt.Fired, pt.Latency.Micros(), slow,
+			pt.Stats.Timeouts, pt.Stats.Retransmits, pt.Stats.Recovery.Micros(),
+			pt.Errs, pt.Wrong); err != nil {
+			return err
+		}
+	}
+	return nil
+}

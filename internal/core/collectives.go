@@ -1,11 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"scc/internal/rcce"
 	"scc/internal/scc"
 )
+
+// ErrInvalid marks user errors (bad counts, bad roots, malformed block
+// layouts). Collectives return it wrapped instead of panicking, so a
+// simulated program can degrade gracefully.
+var ErrInvalid = errors.New("invalid argument")
 
 // Op is an associative binary reduction operator over float64.
 type Op func(a, b float64) float64
@@ -38,6 +44,12 @@ type Config struct {
 	// (Sec. IV-D). It only affects Allreduce and implies the ring
 	// phases run on MPB buffers instead of private memory.
 	MPBDirect bool
+	// Recovery, when non-nil, runs the transport over the hardened
+	// protocol (sequence numbers, checksums, bounded waits, retransmit
+	// with backoff): collectives then return errors instead of hanging
+	// when faults exceed the retry budget. The MPB-direct Allreduce is
+	// not hardened; it falls back to the staged path under Recovery.
+	Recovery *rcce.Policy
 }
 
 // Name renders the configuration like the paper's figure legends.
@@ -67,20 +79,36 @@ func Configs() []Config {
 
 // Ctx is the per-core collectives context: one UE plus its transport
 // endpoint and scratch buffers. Create one per core inside the simulated
-// program via NewCtx.
+// program via NewCtx (full chip) or NewCtxGroup (survivor set).
 type Ctx struct {
 	ue  *rcce.UE
 	ep  Endpoint
 	cfg Config
+	// grp restricts the collective to a member subset; nil means all
+	// cores. All ring/tree/partition logic runs on group ranks.
+	grp *Group
 
 	// scratch private-memory vectors for ring partials, sized lazily.
 	curAddr, rbufAddr scc.Addr
 	scratchLen        int
 }
 
-// NewCtx builds a collectives context for one UE.
+// NewCtx builds a collectives context for one UE, spanning all cores.
 func NewCtx(ue *rcce.UE, cfg Config) *Ctx {
-	return &Ctx{ue: ue, ep: NewEndpoint(ue, cfg.Transport), cfg: cfg, scratchLen: -1}
+	return &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, scratchLen: -1}
+}
+
+// NewCtxGroup builds a collectives context restricted to a group (the
+// failure-aware mode: g is typically Survivors of the dead set). The UE
+// must be a member.
+func NewCtxGroup(ue *rcce.UE, cfg Config, g *Group) (*Ctx, error) {
+	if g == nil {
+		return NewCtx(ue, cfg), nil
+	}
+	if !g.Contains(ue.ID()) {
+		return nil, fmt.Errorf("core: %w: core %d is not a member of the group", ErrInvalid, ue.ID())
+	}
+	return &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, grp: g, scratchLen: -1}, nil
 }
 
 // UE returns the underlying unit of execution.
@@ -88,6 +116,56 @@ func (x *Ctx) UE() *rcce.UE { return x.ue }
 
 // Config returns the active configuration.
 func (x *Ctx) Config() Config { return x.cfg }
+
+// Group returns the member group (nil when spanning all cores).
+func (x *Ctx) Group() *Group { return x.grp }
+
+// np returns the communicator size (group size, or all cores).
+func (x *Ctx) np() int {
+	if x.grp != nil {
+		return x.grp.Size()
+	}
+	return x.ue.NumUEs()
+}
+
+// rank returns this core's rank within the communicator.
+func (x *Ctx) rank() int {
+	if x.grp != nil {
+		return x.grp.RankOf(x.ue.ID())
+	}
+	return x.ue.ID()
+}
+
+// member translates a communicator rank to a core ID.
+func (x *Ctx) member(r int) int {
+	if x.grp != nil {
+		return x.grp.Member(r)
+	}
+	return r
+}
+
+// rootRank validates a root core ID and returns its communicator rank.
+func (x *Ctx) rootRank(fn string, root int) (int, error) {
+	if x.grp != nil {
+		r := x.grp.RankOf(root)
+		if r < 0 {
+			return 0, fmt.Errorf("core: %s: %w: root %d is not a group member", fn, ErrInvalid, root)
+		}
+		return r, nil
+	}
+	if root < 0 || root >= x.ue.NumUEs() {
+		return 0, fmt.Errorf("core: %s: %w: root %d outside [0,%d)", fn, ErrInvalid, root, x.ue.NumUEs())
+	}
+	return root, nil
+}
+
+// checkCount rejects negative element counts.
+func checkCount(fn string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: %s: %w: negative count %d", fn, ErrInvalid, n)
+	}
+	return nil
+}
 
 // ensureScratch sizes the two ring scratch vectors to at least n
 // elements.
@@ -148,18 +226,20 @@ func (x *Ctx) copyPriv(dst, src scc.Addr, n int) {
 // the bucket/ring algorithm of Fig. 2: p-1 rounds, each core pushing
 // partial blocks to its right neighbor. dst must hold at least the
 // largest block. It returns the partition used.
-func (x *Ctx) ReduceScatter(src, dst scc.Addr, n int, op Op) []Block {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) ReduceScatter(src, dst scc.Addr, n int, op Op) ([]Block, error) {
+	if err := checkCount("ReduceScatter", n); err != nil {
+		return nil, err
+	}
+	p := x.np()
+	me := x.rank()
 	blocks := PartitionFor(n, p, x.cfg.Balanced)
 	if p == 1 {
 		x.copyPriv(dst, src, n)
-		return blocks
+		return blocks, nil
 	}
 	x.ensureScratch(maxBlockLen(blocks))
-	right := mod(me+1, p)
-	left := mod(me-1, p)
+	right := x.member(mod(me+1, p))
+	left := x.member(mod(me-1, p))
 
 	for r := 0; r < p-1; r++ {
 		sendIdx := mod(me-1-r, p)
@@ -170,166 +250,196 @@ func (x *Ctx) ReduceScatter(src, dst scc.Addr, n int, op Op) []Block {
 			// First round sends the raw input block directly.
 			sendAddr = src + scc.Addr(8*sb.Off)
 		}
-		x.ep.Exchange(right, sendAddr, 8*sb.Len, left, x.rbufAddr, 8*rb.Len)
+		if err := x.ep.Exchange(right, sendAddr, 8*sb.Len, left, x.rbufAddr, 8*rb.Len); err != nil {
+			return nil, err
+		}
 		// Combine the received partial with my own contribution; the
 		// result is next round's send (or the final block).
 		x.reduceInto(x.curAddr, x.rbufAddr, src+scc.Addr(8*rb.Off), rb.Len, op)
 	}
 	myBlock := blocks[me]
 	x.copyPriv(dst, x.curAddr, myBlock.Len)
-	return blocks
+	return blocks, nil
 }
 
 // allgatherBlocks runs the ring allgather over an arbitrary partition:
 // each core starts owning blocks[me] inside dst (at its block offset)
 // and after p-1 rounds every block is present in every core's dst.
-func (x *Ctx) allgatherBlocks(dst scc.Addr, blocks []Block) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) allgatherBlocks(dst scc.Addr, blocks []Block) error {
+	p := x.np()
+	me := x.rank()
 	if p == 1 {
-		return
+		return nil
 	}
-	right := mod(me+1, p)
-	left := mod(me-1, p)
+	right := x.member(mod(me+1, p))
+	left := x.member(mod(me-1, p))
 	for r := 0; r < p-1; r++ {
 		sendIdx := mod(me-r, p)
 		recvIdx := mod(me-1-r, p)
 		sb, rb := blocks[sendIdx], blocks[recvIdx]
-		x.ep.Exchange(right, dst+scc.Addr(8*sb.Off), 8*sb.Len,
-			left, dst+scc.Addr(8*rb.Off), 8*rb.Len)
+		if err := x.ep.Exchange(right, dst+scc.Addr(8*sb.Off), 8*sb.Len,
+			left, dst+scc.Addr(8*rb.Off), 8*rb.Len); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Allreduce reduces p vectors of n elements element-wise and leaves the
 // full result at dst on every core: a ReduceScatter followed by an
 // Allgather (the RCCE_comm structure for long vectors), or the
 // MPB-direct variant when configured.
-func (x *Ctx) Allreduce(src, dst scc.Addr, n int, op Op) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Allreduce(src, dst scc.Addr, n int, op Op) error {
+	if err := checkCount("Allreduce", n); err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	if p == 1 {
 		x.copyPriv(dst, src, n)
-		return
+		return nil
 	}
 	if x.shortMessage(n) {
 		// Short-message variant: tree Reduce followed by tree Broadcast
 		// (RCCE_comm's size selection; 2*log2(p) levels beat 2*(p-1)
 		// ring rounds for tiny vectors).
-		x.ReduceTree(0, src, dst, n, op)
-		x.BroadcastTree(0, dst, n)
-		return
+		if err := x.ReduceTree(x.member(0), src, dst, n, op); err != nil {
+			return err
+		}
+		return x.BroadcastTree(x.member(0), dst, n)
 	}
-	if x.cfg.MPBDirect {
-		x.allreduceMPB(src, dst, n, op)
-		return
+	if x.cfg.MPBDirect && x.grp == nil && x.cfg.Recovery == nil {
+		return x.allreduceMPB(src, dst, n, op)
 	}
 	blocks := PartitionFor(n, p, x.cfg.Balanced)
 	// Reduce-scatter phase, with my block landing directly in dst.
 	x.ensureScratch(maxBlockLen(blocks))
-	rsBlocks := x.ReduceScatter(src, dst+scc.Addr(8*blocks[me].Off), n, op)
-	_ = rsBlocks
+	if _, err := x.ReduceScatter(src, dst+scc.Addr(8*blocks[me].Off), n, op); err != nil {
+		return err
+	}
 	// Allgather phase over the same partition.
-	x.allgatherBlocks(dst, blocks)
+	return x.allgatherBlocks(dst, blocks)
 }
 
 // Reduce reduces to a single root: a ReduceScatter followed by a gather
 // of every block to the root. dst is only meaningful on the root.
-func (x *Ctx) Reduce(root int, src, dst scc.Addr, n int, op Op) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Reduce(root int, src, dst scc.Addr, n int, op Op) error {
+	if err := checkCount("Reduce", n); err != nil {
+		return err
+	}
+	rootR, err := x.rootRank("Reduce", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	if p == 1 {
 		x.copyPriv(dst, src, n)
-		return
+		return nil
 	}
 	if x.shortMessage(n) {
 		// Short-message variant: binomial tree (RCCE_comm-style size
 		// selection; the ring's 47 handshake rounds cannot amortize).
-		x.ReduceTree(root, src, dst, n, op)
-		return
+		return x.ReduceTree(root, src, dst, n, op)
 	}
 	blocks := PartitionFor(n, p, x.cfg.Balanced)
 	var blockDst scc.Addr
-	if me == root {
+	if me == rootR {
 		blockDst = dst + scc.Addr(8*blocks[me].Off)
 	} else {
 		x.ensureScratch(maxBlockLen(blocks))
 		blockDst = x.curAddr // reduced block staged in scratch
 	}
-	x.ReduceScatter(src, blockDst, n, op)
+	if _, err := x.ReduceScatter(src, blockDst, n, op); err != nil {
+		return err
+	}
 	// Gather phase: everyone ships its block to the root.
-	if me == root {
+	if me == rootR {
 		for q := 0; q < p; q++ {
-			if q == root || blocks[q].Len == 0 {
+			if q == rootR || blocks[q].Len == 0 {
 				continue
 			}
-			x.ep.Recv(q, dst+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+			if err := x.ep.Recv(x.member(q), dst+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	if blocks[me].Len > 0 {
-		x.ep.Send(root, blockDst, 8*blocks[me].Len)
+		return x.ep.Send(root, blockDst, 8*blocks[me].Len)
 	}
+	return nil
 }
 
 // Broadcast distributes n elements at addr from root to every core using
 // the scatter + allgather structure RCCE_comm uses for long messages.
-func (x *Ctx) Broadcast(root int, addr scc.Addr, n int) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Broadcast(root int, addr scc.Addr, n int) error {
+	if err := checkCount("Broadcast", n); err != nil {
+		return err
+	}
+	rootR, err := x.rootRank("Broadcast", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	if p == 1 {
-		return
+		return nil
 	}
 	if x.shortMessage(n) {
-		x.BroadcastTree(root, addr, n)
-		return
+		return x.BroadcastTree(root, addr, n)
 	}
 	blocks := PartitionFor(n, p, x.cfg.Balanced)
-	// Scatter phase: the root ships block q to core q.
-	if me == root {
+	// Scatter phase: the root ships block q to rank q.
+	if me == rootR {
 		for q := 0; q < p; q++ {
-			if q == root || blocks[q].Len == 0 {
+			if q == rootR || blocks[q].Len == 0 {
 				continue
 			}
-			x.ep.Send(q, addr+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+			if err := x.ep.Send(x.member(q), addr+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len); err != nil {
+				return err
+			}
 		}
 	} else if blocks[me].Len > 0 {
-		x.ep.Recv(root, addr+scc.Addr(8*blocks[me].Off), 8*blocks[me].Len)
+		if err := x.ep.Recv(root, addr+scc.Addr(8*blocks[me].Off), 8*blocks[me].Len); err != nil {
+			return err
+		}
 	}
 	// Allgather phase over the same partition reassembles the vector
 	// everywhere.
-	x.allgatherBlocks(addr, blocks)
+	return x.allgatherBlocks(addr, blocks)
 }
 
 // Allgather concatenates each core's nPer-element contribution (at src)
 // into dst (p*nPer elements, ordered by rank) on every core, using the
 // ring algorithm.
-func (x *Ctx) Allgather(src scc.Addr, nPer int, dst scc.Addr) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Allgather(src scc.Addr, nPer int, dst scc.Addr) error {
+	if err := checkCount("Allgather", nPer); err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	// Place my contribution, then ring-rotate contributions.
 	x.copyPriv(dst+scc.Addr(8*nPer*me), src, nPer)
 	blocks := make([]Block, p)
 	for i := range blocks {
 		blocks[i] = Block{Off: i * nPer, Len: nPer}
 	}
-	x.allgatherBlocks(dst, blocks)
+	return x.allgatherBlocks(dst, blocks)
 }
 
 // Alltoall performs a complete exchange: src holds p blocks of nPer
-// elements (block q destined for core q); after the call dst holds p
-// blocks of nPer elements (block q received from core q). The schedule
+// elements (block q destined for rank q); after the call dst holds p
+// blocks of nPer elements (block q received from rank q). The schedule
 // is the linear pairwise exchange (partner = (round - me) mod p), which
 // pairs cores symmetrically in every round and therefore stays
 // deadlock-free even with the blocking transport ordered by rank.
-func (x *Ctx) Alltoall(src, dst scc.Addr, nPer int) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Alltoall(src, dst scc.Addr, nPer int) error {
+	if err := checkCount("Alltoall", nPer); err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	for r := 0; r < p; r++ {
 		partner := mod(r-me, p)
 		sAddr := src + scc.Addr(8*nPer*partner)
@@ -341,12 +451,36 @@ func (x *Ctx) Alltoall(src, dst scc.Addr, nPer int) {
 		if nPer == 0 {
 			continue
 		}
-		x.ep.ExchangePair(partner, sAddr, 8*nPer, rAddr, 8*nPer)
+		if err := x.ep.ExchangePair(x.member(partner), sAddr, 8*nPer, rAddr, 8*nPer); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// Barrier synchronizes all cores (delegates to RCCE's barrier).
-func (x *Ctx) Barrier() { x.ue.Barrier() }
+// Barrier synchronizes the communicator. The full-chip, fault-free case
+// delegates to RCCE's barrier; group or hardened contexts use the group
+// barrier (bounded waits under Recovery).
+func (x *Ctx) Barrier() error {
+	if x.grp == nil && x.cfg.Recovery == nil {
+		x.ue.Barrier()
+		return nil
+	}
+	var members []int
+	if x.grp != nil {
+		members = x.grp.Members()
+	} else {
+		members = make([]int, x.ue.NumUEs())
+		for i := range members {
+			members[i] = i
+		}
+	}
+	if x.cfg.Recovery != nil {
+		return x.ue.BarrierGroupRobust(members, *x.cfg.Recovery)
+	}
+	x.ue.BarrierGroup(members)
+	return nil
+}
 
 // sanity guard used by tests.
 func (x *Ctx) String() string {

@@ -104,7 +104,11 @@ func TestReduceScatterCorrect(t *testing.T) {
 			src := core.AllocF64(n)
 			dst := core.AllocF64(n) // oversized, fine
 			core.WriteF64s(src, in[core.ID])
-			blocks := x.ReduceScatter(src, dst, n, Sum)
+			blocks, err := x.ReduceScatter(src, dst, n, Sum)
+			if err != nil {
+				t.Errorf("ReduceScatter: %v", err)
+				return
+			}
 			b := blocks[core.ID]
 			v := make([]float64, b.Len)
 			core.ReadF64s(dst, v)

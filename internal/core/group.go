@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is a communicator subset: the ordered set of live cores a
+// failure-aware collective runs over. Ranks within a group are dense
+// (0..Size()-1, in ascending core-ID order), so the ring, tree and
+// partition machinery works unchanged on the survivor set — an Allreduce
+// over 47 live cores is the same algorithm with p=47.
+type Group struct {
+	members []int
+	rank    map[int]int
+}
+
+// NewGroup builds a group from the given core IDs (order-insensitive,
+// duplicates rejected). numCores bounds the valid ID range.
+func NewGroup(members []int, numCores int) (*Group, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: %w: empty group", ErrInvalid)
+	}
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	g := &Group{members: sorted, rank: make(map[int]int, len(sorted))}
+	for r, id := range sorted {
+		if id < 0 || id >= numCores {
+			return nil, fmt.Errorf("core: %w: group member %d outside [0,%d)", ErrInvalid, id, numCores)
+		}
+		if _, dup := g.rank[id]; dup {
+			return nil, fmt.Errorf("core: %w: duplicate group member %d", ErrInvalid, id)
+		}
+		g.rank[id] = r
+	}
+	return g, nil
+}
+
+// Survivors builds the group of all cores except the given dead ones —
+// the membership a failure-aware collective rebuilds after core death.
+func Survivors(numCores int, dead []int) (*Group, error) {
+	isDead := make(map[int]bool, len(dead))
+	for _, id := range dead {
+		isDead[id] = true
+	}
+	var live []int
+	for id := 0; id < numCores; id++ {
+		if !isDead[id] {
+			live = append(live, id)
+		}
+	}
+	return NewGroup(live, numCores)
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Members returns the member core IDs in rank order (a copy).
+func (g *Group) Members() []int { return append([]int(nil), g.members...) }
+
+// Member returns the core ID holding the given group rank.
+func (g *Group) Member(rank int) int { return g.members[rank] }
+
+// RankOf returns the group rank of a core ID, or -1 if it is not a
+// member.
+func (g *Group) RankOf(core int) int {
+	if r, ok := g.rank[core]; ok {
+		return r
+	}
+	return -1
+}
+
+// Contains reports whether the core is a member.
+func (g *Group) Contains(core int) bool { return g.RankOf(core) >= 0 }

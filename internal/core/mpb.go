@@ -129,8 +129,9 @@ func (r *mpbRing) ackLeft(b int) {
 // partials in MPB buffers (the reduction reads the left neighbor's MPB
 // directly and writes the local MPB); the allgather phase forwards
 // finished blocks MPB-to-MPB while each core also lands them in its
-// private result vector.
-func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) {
+// private result vector. Only reached on the full-chip, fault-free path
+// (grp == nil, Recovery == nil).
+func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) error {
 	ue := x.ue
 	core := ue.Core()
 	m := core.Chip().Model
@@ -139,7 +140,7 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) {
 	blocks := PartitionFor(n, p, true) // Sec. IV-D builds on all prior optimizations
 	if p == 1 {
 		x.copyPriv(dst, src, n)
-		return
+		return nil
 	}
 	if maxBlockLen(blocks)*8 > ue.Comm().DataBytes()/2 {
 		// Blocks must fit a double-buffer half; fall back to the
@@ -147,8 +148,7 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) {
 		cfg := x.cfg
 		cfg.MPBDirect = false
 		fallback := &Ctx{ue: ue, ep: x.ep, cfg: cfg, scratchLen: -1}
-		fallback.Allreduce(src, dst, n, op)
-		return
+		return fallback.Allreduce(src, dst, n, op)
 	}
 	ring := newMPBRing(ue)
 	// Each ring round still runs the lightweight handshake state machine
@@ -213,4 +213,5 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) {
 		core.WriteF64s(dst+scc.Addr(8*blk.Off), v)
 	}
 	ring.drain()
+	return nil
 }

@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+// FuzzPartitionInvariants checks the structural invariants both
+// partitioning strategies must uphold for any (n, p): blocks tile the
+// vector exactly (contiguous, in order, lengths summing to n), the
+// balanced split never differs by more than one element between blocks,
+// and the standard split puts the entire remainder on block 0.
+func FuzzPartitionInvariants(f *testing.F) {
+	f.Add(552, 48)
+	f.Add(575, 48)
+	f.Add(0, 1)
+	f.Add(1, 48)
+	f.Add(47, 48)
+	f.Add(1000000, 7)
+	f.Fuzz(func(t *testing.T, n, p int) {
+		if p <= 0 || n < 0 || p > 1<<16 || n > 1<<26 {
+			t.Skip()
+		}
+		for _, balanced := range []bool{false, true} {
+			blocks := PartitionFor(n, p, balanced)
+			if len(blocks) != p {
+				t.Fatalf("balanced=%v: got %d blocks, want %d", balanced, len(blocks), p)
+			}
+			off, total := 0, 0
+			minLen, maxLen := blocks[0].Len, blocks[0].Len
+			for i, b := range blocks {
+				if b.Len < 0 {
+					t.Fatalf("balanced=%v: block %d has negative length %d", balanced, i, b.Len)
+				}
+				if b.Off != off {
+					t.Fatalf("balanced=%v: block %d at offset %d, want contiguous %d", balanced, i, b.Off, off)
+				}
+				off += b.Len
+				total += b.Len
+				if b.Len < minLen {
+					minLen = b.Len
+				}
+				if b.Len > maxLen {
+					maxLen = b.Len
+				}
+			}
+			if total != n {
+				t.Fatalf("balanced=%v: block lengths sum to %d, want %d", balanced, total, n)
+			}
+			if balanced {
+				if maxLen-minLen > 1 {
+					t.Fatalf("balanced: max-min = %d-%d > 1", maxLen, minLen)
+				}
+			} else {
+				// Standard split: block 0 absorbs the remainder, all
+				// others carry exactly n/p elements.
+				for i := 1; i < p; i++ {
+					if blocks[i].Len != n/p {
+						t.Fatalf("standard: block %d length %d, want %d", i, blocks[i].Len, n/p)
+					}
+				}
+				if blocks[0].Len != n/p+n%p {
+					t.Fatalf("standard: block 0 length %d, want %d", blocks[0].Len, n/p+n%p)
+				}
+			}
+		}
+	})
+}

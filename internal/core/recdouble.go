@@ -14,13 +14,15 @@ import "scc/internal/scc"
 // ring moves it ~2x total in p-sized pieces - so doubling wins on
 // latency-dominated short vectors and loses on copy-dominated long
 // ones. BenchmarkRingVsRecursiveDoubling locates the crossover.
-func (x *Ctx) AllreduceRecursiveDoubling(src, dst scc.Addr, n int, op Op) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) AllreduceRecursiveDoubling(src, dst scc.Addr, n int, op Op) error {
+	if err := checkCount("AllreduceRecursiveDoubling", n); err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	x.copyPriv(dst, src, n)
 	if p == 1 || n == 0 {
-		return
+		return nil
 	}
 	x.ensureScratch(n)
 
@@ -35,9 +37,13 @@ func (x *Ctx) AllreduceRecursiveDoubling(src, dst scc.Addr, n int, op Op) {
 	newRank := -1
 	switch {
 	case me < 2*rem && me%2 == 0:
-		x.ep.Send(me+1, dst, 8*n)
+		if err := x.ep.Send(x.member(me+1), dst, 8*n); err != nil {
+			return err
+		}
 	case me < 2*rem:
-		x.ep.Recv(me-1, x.rbufAddr, 8*n)
+		if err := x.ep.Recv(x.member(me-1), x.rbufAddr, 8*n); err != nil {
+			return err
+		}
 		x.reduceInto(dst, dst, x.rbufAddr, n, op)
 		newRank = me / 2
 	default:
@@ -52,8 +58,10 @@ func (x *Ctx) AllreduceRecursiveDoubling(src, dst scc.Addr, n int, op Op) {
 			return nr + rem
 		}
 		for mask := 1; mask < pof2; mask <<= 1 {
-			partner := realOf(newRank ^ mask)
-			x.ep.ExchangePair(partner, dst, 8*n, x.rbufAddr, 8*n)
+			partner := x.member(realOf(newRank ^ mask))
+			if err := x.ep.ExchangePair(partner, dst, 8*n, x.rbufAddr, 8*n); err != nil {
+				return err
+			}
 			x.reduceInto(dst, dst, x.rbufAddr, n, op)
 		}
 	}
@@ -62,8 +70,9 @@ func (x *Ctx) AllreduceRecursiveDoubling(src, dst scc.Addr, n int, op Op) {
 	// neighbor that carried their contribution.
 	switch {
 	case me < 2*rem && me%2 == 0:
-		x.ep.Recv(me+1, dst, 8*n)
+		return x.ep.Recv(x.member(me+1), dst, 8*n)
 	case me < 2*rem:
-		x.ep.Send(me-1, dst, 8*n)
+		return x.ep.Send(x.member(me-1), dst, 8*n)
 	}
+	return nil
 }

@@ -10,72 +10,93 @@ import "scc/internal/scc"
 
 // Scatter distributes block q of the root's src buffer (p blocks of nPer
 // elements) to rank q's dst. src is only read on the root.
-func (x *Ctx) Scatter(root int, src scc.Addr, nPer int, dst scc.Addr) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Scatter(root int, src scc.Addr, nPer int, dst scc.Addr) error {
+	if err := checkCount("Scatter", nPer); err != nil {
+		return err
+	}
+	rootR, err := x.rootRank("Scatter", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	if p == 1 || nPer == 0 {
 		if nPer > 0 {
 			x.copyPriv(dst, src, nPer)
 		}
-		return
+		return nil
 	}
-	if me == root {
+	if me == rootR {
 		for q := 0; q < p; q++ {
-			if q == root {
+			if q == rootR {
 				x.copyPriv(dst, src+scc.Addr(8*nPer*q), nPer)
 				continue
 			}
-			x.ep.Send(q, src+scc.Addr(8*nPer*q), 8*nPer)
+			if err := x.ep.Send(x.member(q), src+scc.Addr(8*nPer*q), 8*nPer); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	x.ep.Recv(root, dst, 8*nPer)
+	return x.ep.Recv(root, dst, 8*nPer)
 }
 
 // Gather collects each rank's nPer-element src block into the root's dst
 // buffer (p blocks, rank-ordered). dst is only written on the root.
-func (x *Ctx) Gather(root int, src scc.Addr, nPer int, dst scc.Addr) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Gather(root int, src scc.Addr, nPer int, dst scc.Addr) error {
+	if err := checkCount("Gather", nPer); err != nil {
+		return err
+	}
+	rootR, err := x.rootRank("Gather", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	if p == 1 || nPer == 0 {
 		if nPer > 0 {
 			x.copyPriv(dst, src, nPer)
 		}
-		return
+		return nil
 	}
-	if me == root {
+	if me == rootR {
 		for q := 0; q < p; q++ {
-			if q == root {
+			if q == rootR {
 				x.copyPriv(dst+scc.Addr(8*nPer*q), src, nPer)
 				continue
 			}
-			x.ep.Recv(q, dst+scc.Addr(8*nPer*q), 8*nPer)
+			if err := x.ep.Recv(x.member(q), dst+scc.Addr(8*nPer*q), 8*nPer); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	x.ep.Send(root, src, 8*nPer)
+	return x.ep.Send(root, src, 8*nPer)
 }
 
 // Scan computes an inclusive prefix reduction: rank k's dst receives
 // op(v_0, ..., v_k) element-wise. Implemented as the linear pipeline
 // used by small-communicator MPI implementations: rank k receives the
 // prefix from k-1, combines its contribution, and forwards to k+1.
-func (x *Ctx) Scan(src, dst scc.Addr, n int, op Op) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
+func (x *Ctx) Scan(src, dst scc.Addr, n int, op Op) error {
+	if err := checkCount("Scan", n); err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	x.copyPriv(dst, src, n)
 	if p == 1 || n == 0 {
-		return
+		return nil
 	}
 	if me > 0 {
 		x.ensureScratch(n)
-		x.ep.Recv(me-1, x.rbufAddr, 8*n)
+		if err := x.ep.Recv(x.member(me-1), x.rbufAddr, 8*n); err != nil {
+			return err
+		}
 		x.reduceInto(dst, x.rbufAddr, src, n, op)
 	}
 	if me < p-1 {
-		x.ep.Send(me+1, dst, 8*n)
+		return x.ep.Send(x.member(me+1), dst, 8*n)
 	}
+	return nil
 }

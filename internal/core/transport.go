@@ -39,27 +39,40 @@ func (k TransportKind) String() string {
 }
 
 // Endpoint is the per-core transport instance the collectives call into.
+// The fault-free transports never fail and always return nil; the
+// hardened transport (Config.Recovery != nil) returns rcce.ErrUnreachable
+// when a peer stays silent past the retry budget.
 type Endpoint interface {
 	// Send transmits nBytes of private memory to UE `to`, completing
 	// before return.
-	Send(to int, addr scc.Addr, nBytes int)
+	Send(to int, addr scc.Addr, nBytes int) error
 	// Recv receives nBytes from UE `from` into private memory.
-	Recv(from int, addr scc.Addr, nBytes int)
+	Recv(from int, addr scc.Addr, nBytes int) error
 	// Exchange performs one ring/pairwise round: send to `to` and
 	// receive from `from`, completing both before returning. With a
 	// blocking transport the two legs are ordered odd-even (Fig. 4);
 	// with non-blocking transports both are posted at once (Fig. 5).
-	Exchange(to int, sendAddr scc.Addr, sendBytes int, from int, recvAddr scc.Addr, recvBytes int)
+	Exchange(to int, sendAddr scc.Addr, sendBytes int, from int, recvAddr scc.Addr, recvBytes int) error
 	// ExchangePair exchanges with a single symmetric partner (both
 	// directions with the same peer). The blocking transport orders the
 	// legs by rank - the odd-even rule is parity-based and would
 	// deadlock when symmetric partners share parity.
-	ExchangePair(peer int, sendAddr scc.Addr, sendBytes int, recvAddr scc.Addr, recvBytes int)
+	ExchangePair(peer int, sendAddr scc.Addr, sendBytes int, recvAddr scc.Addr, recvBytes int) error
 }
 
-// NewEndpoint builds the endpoint of the given kind for one UE.
+// NewEndpoint builds the fault-free endpoint of the given kind for one
+// UE.
 func NewEndpoint(ue *rcce.UE, kind TransportKind) Endpoint {
-	switch kind {
+	return newEndpoint(ue, Config{Transport: kind})
+}
+
+// newEndpoint builds the endpoint for a configuration: the plain
+// transport, or its hardened counterpart when Recovery is set.
+func newEndpoint(ue *rcce.UE, cfg Config) Endpoint {
+	if cfg.Recovery != nil {
+		return newRobustEP(ue, cfg.Transport, *cfg.Recovery)
+	}
+	switch cfg.Transport {
 	case TransportBlocking:
 		return &blockingEP{ue: ue}
 	case TransportIRCCE:
@@ -67,7 +80,7 @@ func NewEndpoint(ue *rcce.UE, kind TransportKind) Endpoint {
 	case TransportLightweight:
 		return &lwEP{lib: lwnb.New(ue)}
 	default:
-		panic(fmt.Sprintf("core: unknown transport kind %d", kind))
+		panic(fmt.Sprintf("core: unknown transport kind %d", int(cfg.Transport)))
 	}
 }
 
@@ -79,10 +92,17 @@ type blockingEP struct {
 	ue *rcce.UE
 }
 
-func (e *blockingEP) Send(to int, addr scc.Addr, n int)   { e.ue.Send(to, addr, n) }
-func (e *blockingEP) Recv(from int, addr scc.Addr, n int) { e.ue.Recv(from, addr, n) }
+func (e *blockingEP) Send(to int, addr scc.Addr, n int) error {
+	e.ue.Send(to, addr, n)
+	return nil
+}
 
-func (e *blockingEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) {
+func (e *blockingEP) Recv(from int, addr scc.Addr, n int) error {
+	e.ue.Recv(from, addr, n)
+	return nil
+}
+
+func (e *blockingEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) error {
 	if e.ue.ID()%2 == 0 {
 		e.ue.Send(to, sAddr, sBytes)
 		e.ue.Recv(from, rAddr, rBytes)
@@ -90,9 +110,10 @@ func (e *blockingEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAdd
 		e.ue.Recv(from, rAddr, rBytes)
 		e.ue.Send(to, sAddr, sBytes)
 	}
+	return nil
 }
 
-func (e *blockingEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) {
+func (e *blockingEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) error {
 	if e.ue.ID() < peer {
 		e.ue.Send(peer, sAddr, sBytes)
 		e.ue.Recv(peer, rAddr, rBytes)
@@ -100,6 +121,7 @@ func (e *blockingEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr sc
 		e.ue.Recv(peer, rAddr, rBytes)
 		e.ue.Send(peer, sAddr, sBytes)
 	}
+	return nil
 }
 
 // ircceEP drives the iRCCE library: both legs posted, then waited.
@@ -107,17 +129,25 @@ type ircceEP struct {
 	lib *ircce.Lib
 }
 
-func (e *ircceEP) Send(to int, addr scc.Addr, n int)   { e.lib.Wait(e.lib.ISend(to, addr, n)) }
-func (e *ircceEP) Recv(from int, addr scc.Addr, n int) { e.lib.Wait(e.lib.IRecv(from, addr, n)) }
+func (e *ircceEP) Send(to int, addr scc.Addr, n int) error {
+	e.lib.Wait(e.lib.ISend(to, addr, n))
+	return nil
+}
 
-func (e *ircceEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) {
+func (e *ircceEP) Recv(from int, addr scc.Addr, n int) error {
+	e.lib.Wait(e.lib.IRecv(from, addr, n))
+	return nil
+}
+
+func (e *ircceEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) error {
 	s := e.lib.ISend(to, sAddr, sBytes)
 	r := e.lib.IRecv(from, rAddr, rBytes)
 	e.lib.WaitAll(s, r)
+	return nil
 }
 
-func (e *ircceEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) {
-	e.Exchange(peer, sAddr, sBytes, peer, rAddr, rBytes)
+func (e *ircceEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) error {
+	return e.Exchange(peer, sAddr, sBytes, peer, rAddr, rBytes)
 }
 
 // lwEP drives the lightweight non-blocking library.
@@ -125,15 +155,69 @@ type lwEP struct {
 	lib *lwnb.Lib
 }
 
-func (e *lwEP) Send(to int, addr scc.Addr, n int)   { e.lib.Wait(e.lib.ISend(to, addr, n)) }
-func (e *lwEP) Recv(from int, addr scc.Addr, n int) { e.lib.Wait(e.lib.IRecv(from, addr, n)) }
+func (e *lwEP) Send(to int, addr scc.Addr, n int) error {
+	e.lib.Wait(e.lib.ISend(to, addr, n))
+	return nil
+}
 
-func (e *lwEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) {
+func (e *lwEP) Recv(from int, addr scc.Addr, n int) error {
+	e.lib.Wait(e.lib.IRecv(from, addr, n))
+	return nil
+}
+
+func (e *lwEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) error {
 	s := e.lib.ISend(to, sAddr, sBytes)
 	r := e.lib.IRecv(from, rAddr, rBytes)
 	e.lib.WaitAll(s, r)
+	return nil
 }
 
-func (e *lwEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) {
-	e.Exchange(peer, sAddr, sBytes, peer, rAddr, rBytes)
+func (e *lwEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) error {
+	return e.Exchange(peer, sAddr, sBytes, peer, rAddr, rBytes)
+}
+
+// robustEP runs every leg over the hardened protocol (sequence numbers,
+// per-line checksums, bounded waits, retransmit with backoff) at the
+// software-overhead profile of the selected transport. Exchanges run
+// full duplex through the shared robust engine — the hardened protocol
+// is deadlock-free without odd-even ordering, since every wait is
+// bounded — so even the "blocking" profile exchanges both legs at once.
+type robustEP struct {
+	ue    *rcce.UE
+	costs rcce.NBCosts
+	pol   rcce.Policy
+}
+
+func newRobustEP(ue *rcce.UE, kind TransportKind, pol rcce.Policy) Endpoint {
+	m := ue.Core().Chip().Model
+	var costs rcce.NBCosts
+	switch kind {
+	case TransportBlocking:
+		// Blocking RCCE has no post/progress machinery; its per-call
+		// overhead all lands on the synchronous call itself.
+		costs = rcce.NBCosts{Post: m.OverheadBlockingCall, Wait: 0, Progress: 0}
+	case TransportIRCCE:
+		costs = ircce.Costs(m)
+	case TransportLightweight:
+		costs = lwnb.Costs(m)
+	default:
+		panic(fmt.Sprintf("core: unknown transport kind %d", int(kind)))
+	}
+	return &robustEP{ue: ue, costs: costs, pol: pol}
+}
+
+func (e *robustEP) Send(to int, addr scc.Addr, n int) error {
+	return e.ue.SendRobust(e.costs, e.pol, to, addr, n)
+}
+
+func (e *robustEP) Recv(from int, addr scc.Addr, n int) error {
+	return e.ue.RecvRobust(e.costs, e.pol, from, addr, n)
+}
+
+func (e *robustEP) Exchange(to int, sAddr scc.Addr, sBytes int, from int, rAddr scc.Addr, rBytes int) error {
+	return e.ue.ExchangeRobust(e.costs, e.pol, to, sAddr, sBytes, from, rAddr, rBytes)
+}
+
+func (e *robustEP) ExchangePair(peer int, sAddr scc.Addr, sBytes int, rAddr scc.Addr, rBytes int) error {
+	return e.ue.ExchangeRobust(e.costs, e.pol, peer, sAddr, sBytes, peer, rAddr, rBytes)
 }

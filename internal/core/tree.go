@@ -15,31 +15,41 @@ import "scc/internal/scc"
 // per-round handshakes dominate any bandwidth advantage.
 const shortMessageThresholdBytes = 512
 
-// BroadcastTree distributes n float64 values from root along a binomial
-// tree, regardless of size.
-func (x *Ctx) BroadcastTree(root int, addr scc.Addr, n int) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
-	if p == 1 || n == 0 {
-		return
+// BroadcastTree distributes n float64 values from root (a core ID) along
+// a binomial tree, regardless of size.
+func (x *Ctx) BroadcastTree(root int, addr scc.Addr, n int) error {
+	if err := checkCount("BroadcastTree", n); err != nil {
+		return err
 	}
-	vrank := mod(me-root, p)
+	rootR, err := x.rootRank("BroadcastTree", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
+	if p == 1 || n == 0 {
+		return nil
+	}
+	vrank := mod(me-rootR, p)
 	if vrank != 0 {
 		// Find my lowest set bit: the parent holds the rest.
 		mask := 1
 		for vrank&mask == 0 {
 			mask <<= 1
 		}
-		parent := mod(root+(vrank&^mask), p)
-		x.ep.Recv(parent, addr, 8*n)
+		parent := x.member(mod(rootR+(vrank&^mask), p))
+		if err := x.ep.Recv(parent, addr, 8*n); err != nil {
+			return err
+		}
 		// Forward to my subtree (bits below my lowest set bit).
 		for mask >>= 1; mask > 0; mask >>= 1 {
 			if child := vrank | mask; child < p {
-				x.ep.Send(mod(root+child, p), addr, 8*n)
+				if err := x.ep.Send(x.member(mod(rootR+child, p)), addr, 8*n); err != nil {
+					return err
+				}
 			}
 		}
-		return
+		return nil
 	}
 	// Root: highest subtree first.
 	mask := 1
@@ -48,24 +58,32 @@ func (x *Ctx) BroadcastTree(root int, addr scc.Addr, n int) {
 	}
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if mask < p {
-			x.ep.Send(mod(root+mask, p), addr, 8*n)
+			if err := x.ep.Send(x.member(mod(rootR+mask, p)), addr, 8*n); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-// ReduceTree reduces to root along a binomial tree: each inner node
-// combines its children's partials before forwarding one message up.
-// dst is only meaningful on the root; src is left untouched.
-func (x *Ctx) ReduceTree(root int, src, dst scc.Addr, n int, op Op) {
-	ue := x.ue
-	core := ue.Core()
-	p := ue.NumUEs()
-	me := ue.ID()
+// ReduceTree reduces to root (a core ID) along a binomial tree: each
+// inner node combines its children's partials before forwarding one
+// message up. dst is only meaningful on the root; src is left untouched.
+func (x *Ctx) ReduceTree(root int, src, dst scc.Addr, n int, op Op) error {
+	if err := checkCount("ReduceTree", n); err != nil {
+		return err
+	}
+	rootR, err := x.rootRank("ReduceTree", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
 	if p == 1 {
 		x.copyPriv(dst, src, n)
-		return
+		return nil
 	}
-	vrank := mod(me-root, p)
+	vrank := mod(me-rootR, p)
 	x.ensureScratch(n)
 	acc := x.curAddr
 	x.copyPriv(acc, src, n)
@@ -73,18 +91,19 @@ func (x *Ctx) ReduceTree(root int, src, dst scc.Addr, n int, op Op) {
 	mask := 1
 	for mask < p {
 		if vrank&mask != 0 {
-			parent := mod(root+(vrank&^mask), p)
-			x.ep.Send(parent, acc, 8*n)
-			return
+			parent := x.member(mod(rootR+(vrank&^mask), p))
+			return x.ep.Send(parent, acc, 8*n)
 		}
 		if child := vrank | mask; child < p {
-			x.ep.Recv(mod(root+child, p), x.rbufAddr, 8*n)
+			if err := x.ep.Recv(x.member(mod(rootR+child, p)), x.rbufAddr, 8*n); err != nil {
+				return err
+			}
 			x.reduceInto(acc, acc, x.rbufAddr, n, op)
 		}
 		mask <<= 1
 	}
-	_ = core
 	x.copyPriv(dst, acc, n)
+	return nil
 }
 
 // shortMessage reports whether the tree variants should handle a vector

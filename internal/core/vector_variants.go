@@ -1,36 +1,41 @@
 package core
 
-import "scc/internal/scc"
+import (
+	"fmt"
+
+	"scc/internal/scc"
+)
 
 // Variable-count collectives (the MPI "v" variants). RCCE_comm-era
 // applications with irregular decompositions need per-rank counts; the
 // ring and pairwise schedules generalize directly, reusing the Block
 // machinery of the partitioned collectives.
 
-// validateBlocks panics if the per-rank layout is malformed.
-func validateBlocks(fn string, blocks []Block, p int) {
+// validateBlocks rejects malformed per-rank layouts.
+func validateBlocks(fn string, blocks []Block, p int) error {
 	if len(blocks) != p {
-		panic("core: " + fn + ": need exactly one block per rank")
+		return fmt.Errorf("core: %s: %w: got %d blocks, need exactly one per rank (%d)", fn, ErrInvalid, len(blocks), p)
 	}
 	for i, b := range blocks {
 		if b.Len < 0 || b.Off < 0 {
-			panic("core: " + fn + ": negative block geometry")
+			return fmt.Errorf("core: %s: %w: block %d has negative geometry {Off:%d Len:%d}", fn, ErrInvalid, i, b.Off, b.Len)
 		}
-		_ = i
 	}
+	return nil
 }
 
 // AllgatherV concatenates variable-sized contributions: rank q owns
 // blocks[q] of the destination layout and provides blocks[q].Len
 // elements at src. After the call every rank's dst holds all blocks at
 // their offsets.
-func (x *Ctx) AllgatherV(src scc.Addr, blocks []Block, dst scc.Addr) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
-	validateBlocks("AllgatherV", blocks, p)
+func (x *Ctx) AllgatherV(src scc.Addr, blocks []Block, dst scc.Addr) error {
+	p := x.np()
+	me := x.rank()
+	if err := validateBlocks("AllgatherV", blocks, p); err != nil {
+		return err
+	}
 	x.copyPriv(dst+scc.Addr(8*blocks[me].Off), src, blocks[me].Len)
-	x.allgatherBlocks(dst, blocks)
+	return x.allgatherBlocks(dst, blocks)
 }
 
 // AlltoallV performs a complete exchange with per-pair counts:
@@ -39,12 +44,15 @@ func (x *Ctx) AllgatherV(src scc.Addr, blocks []Block, dst scc.Addr) {
 // agree pairwise across ranks (sendBlocks[q].Len here ==
 // recvBlocks[me].Len there); the simulation deadlock detector flags
 // violations. Uses the same symmetric pairwise schedule as Alltoall.
-func (x *Ctx) AlltoallV(src scc.Addr, sendBlocks []Block, dst scc.Addr, recvBlocks []Block) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
-	validateBlocks("AlltoallV", sendBlocks, p)
-	validateBlocks("AlltoallV", recvBlocks, p)
+func (x *Ctx) AlltoallV(src scc.Addr, sendBlocks []Block, dst scc.Addr, recvBlocks []Block) error {
+	p := x.np()
+	me := x.rank()
+	if err := validateBlocks("AlltoallV", sendBlocks, p); err != nil {
+		return err
+	}
+	if err := validateBlocks("AlltoallV", recvBlocks, p); err != nil {
+		return err
+	}
 	for r := 0; r < p; r++ {
 		partner := mod(r-me, p)
 		sb, rb := sendBlocks[partner], recvBlocks[partner]
@@ -57,56 +65,75 @@ func (x *Ctx) AlltoallV(src scc.Addr, sendBlocks []Block, dst scc.Addr, recvBloc
 		if sb.Len == 0 && rb.Len == 0 {
 			continue
 		}
-		x.ep.ExchangePair(partner, sAddr, 8*sb.Len, rAddr, 8*rb.Len)
+		if err := x.ep.ExchangePair(x.member(partner), sAddr, 8*sb.Len, rAddr, 8*rb.Len); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // GatherV collects variable-sized blocks to the root: rank q sends
 // blocks[q].Len elements from src, landing at blocks[q].Off in the
 // root's dst.
-func (x *Ctx) GatherV(root int, src scc.Addr, blocks []Block, dst scc.Addr) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
-	validateBlocks("GatherV", blocks, p)
-	if me == root {
+func (x *Ctx) GatherV(root int, src scc.Addr, blocks []Block, dst scc.Addr) error {
+	rootR, err := x.rootRank("GatherV", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
+	if err := validateBlocks("GatherV", blocks, p); err != nil {
+		return err
+	}
+	if me == rootR {
 		for q := 0; q < p; q++ {
-			if q == root {
+			if q == rootR {
 				x.copyPriv(dst+scc.Addr(8*blocks[q].Off), src, blocks[q].Len)
 				continue
 			}
 			if blocks[q].Len > 0 {
-				x.ep.Recv(q, dst+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+				if err := x.ep.Recv(x.member(q), dst+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len); err != nil {
+					return err
+				}
 			}
 		}
-		return
+		return nil
 	}
 	if blocks[me].Len > 0 {
-		x.ep.Send(root, src, 8*blocks[me].Len)
+		return x.ep.Send(root, src, 8*blocks[me].Len)
 	}
+	return nil
 }
 
 // ScatterV distributes variable-sized blocks from the root: rank q
 // receives blocks[q].Len elements into dst, taken from blocks[q].Off of
 // the root's src.
-func (x *Ctx) ScatterV(root int, src scc.Addr, blocks []Block, dst scc.Addr) {
-	ue := x.ue
-	p := ue.NumUEs()
-	me := ue.ID()
-	validateBlocks("ScatterV", blocks, p)
-	if me == root {
+func (x *Ctx) ScatterV(root int, src scc.Addr, blocks []Block, dst scc.Addr) error {
+	rootR, err := x.rootRank("ScatterV", root)
+	if err != nil {
+		return err
+	}
+	p := x.np()
+	me := x.rank()
+	if err := validateBlocks("ScatterV", blocks, p); err != nil {
+		return err
+	}
+	if me == rootR {
 		for q := 0; q < p; q++ {
-			if q == root {
+			if q == rootR {
 				x.copyPriv(dst, src+scc.Addr(8*blocks[q].Off), blocks[q].Len)
 				continue
 			}
 			if blocks[q].Len > 0 {
-				x.ep.Send(q, src+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len)
+				if err := x.ep.Send(x.member(q), src+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len); err != nil {
+					return err
+				}
 			}
 		}
-		return
+		return nil
 	}
 	if blocks[me].Len > 0 {
-		x.ep.Recv(root, dst, 8*blocks[me].Len)
+		return x.ep.Recv(root, dst, 8*blocks[me].Len)
 	}
+	return nil
 }

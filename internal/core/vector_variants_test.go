@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -176,13 +177,32 @@ func TestGatherVScatterVRoundTrip(t *testing.T) {
 func TestVectorVariantsValidate(t *testing.T) {
 	chip := scc.New(timing.Default())
 	comm := rcce.NewComm(chip)
+	var gotErr error
 	chip.LaunchOne(0, func(c *scc.Core) {
 		x := NewCtx(comm.UE(0), ConfigLightweight)
 		src := c.AllocF64(4)
 		dst := c.AllocF64(4)
-		x.AllgatherV(src, []Block{{0, 1}}, dst) // wrong count: must panic
+		gotErr = x.AllgatherV(src, []Block{{0, 1}}, dst) // wrong count
 	})
-	if err := chip.Run(); err == nil {
-		t.Fatal("malformed block layout should fail the simulation")
+	if err := chip.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrInvalid) {
+		t.Fatalf("malformed block layout: got %v, want ErrInvalid", gotErr)
+	}
+	// Negative geometry is rejected too.
+	chip2 := scc.New(timing.Default())
+	comm2 := rcce.NewComm(chip2)
+	chip2.LaunchOne(0, func(c *scc.Core) {
+		x := NewCtx(comm2.UE(0), ConfigLightweight)
+		src := c.AllocF64(4)
+		dst := c.AllocF64(4)
+		gotErr = x.AllgatherV(src, []Block{{Off: -1, Len: 1}}, dst)
+	})
+	if err := chip2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrInvalid) {
+		t.Fatalf("negative geometry: got %v, want ErrInvalid", gotErr)
 	}
 }

@@ -1,0 +1,288 @@
+// Package fault provides deterministic, seeded fault injection for the
+// simulated SCC. A Plan schedules faults at virtual times and locations —
+// transient mesh-link stalls, lost or corrupted MPB writes, dropped flag
+// writes, transient core stalls and permanent core death — and implements
+// both hook interfaces the lower layers expose (scc.FaultHook and
+// mesh.Injector). Because every fault is a pure function of (location,
+// virtual time) and the simulation itself is deterministic, a given seed
+// reproduces the exact same failure history and the exact same recovery
+// latency, tick for tick.
+//
+// The package deliberately knows nothing about RCCE or the collectives:
+// it perturbs the hardware model only. Recovery is the job of the
+// hardened protocol in internal/rcce and the failure-aware collectives in
+// internal/core.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scc/internal/mesh"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// Kind enumerates the fault classes the plan can inject.
+type Kind int
+
+const (
+	// LinkStall delays every packet head crossing one directed mesh
+	// link during the window [At, At+Dur) until the window closes —
+	// a transient routing stall.
+	LinkStall Kind = iota
+	// FlagDrop loses the next single-byte flag write issued by core
+	// Core at or after At (optionally only at MPB offset Off).
+	FlagDrop
+	// MPBDrop loses the next bulk MPB write issued by core Core at or
+	// after At — a vanished data chunk.
+	MPBDrop
+	// MPBCorrupt XORs the first cache line of the next bulk MPB write
+	// by core Core at or after At with pattern XOR — a single-line
+	// corruption the checksum must catch.
+	MPBCorrupt
+	// CoreStall freezes core Core for Dur at its first shared-state
+	// access at or after At.
+	CoreStall
+	// CoreDie permanently kills core Core at its first shared-state
+	// access at or after At. Unrecoverable by retransmission; survivors
+	// need a failure-aware collective (see core.Group).
+	CoreDie
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkStall:
+		return "link-stall"
+	case FlagDrop:
+		return "flag-drop"
+	case MPBDrop:
+		return "mpb-drop"
+	case MPBCorrupt:
+		return "mpb-corrupt"
+	case CoreStall:
+		return "core-stall"
+	case CoreDie:
+		return "core-die"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault. Which fields matter depends on Kind; see
+// the Kind constants.
+type Fault struct {
+	Kind Kind
+	At   simtime.Time     // activation time (virtual)
+	Dur  simtime.Duration // LinkStall window / CoreStall length
+	Core int              // affected core (writer, for the drop/corrupt kinds)
+	From mesh.Coord       // LinkStall: directed link source router
+	To   mesh.Coord       // LinkStall: directed link destination router
+	Off  int              // FlagDrop: MPB offset filter (-1 = any flag write)
+	XOR  byte             // MPBCorrupt: corruption pattern (0 treated as 0xFF)
+
+	fired bool
+}
+
+// Event records one fault actually firing.
+type Event struct {
+	Kind Kind
+	At   simtime.Time // virtual time the fault took effect
+	Site string       // human-readable location ("core07 flag@2081", "(2,1)->(3,1)")
+}
+
+// String formats the event for logs and tests.
+func (e Event) String() string {
+	return fmt.Sprintf("%v %s @ %v", e.Kind, e.Site, e.At)
+}
+
+// Plan is an ordered set of scheduled faults. It implements scc.FaultHook
+// and mesh.Injector; install it on a chip with Install. The zero value is
+// an empty (fault-free) plan. Not safe for use on multiple chips at once:
+// one-shot faults carry firing state.
+type Plan struct {
+	faults []*Fault
+	events []Event
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Add schedules a fault and returns the plan for chaining.
+func (p *Plan) Add(f Fault) *Plan {
+	c := f
+	p.faults = append(p.faults, &c)
+	return p
+}
+
+// Len reports how many faults are scheduled.
+func (p *Plan) Len() int { return len(p.faults) }
+
+// Events returns the faults that have fired so far, in firing order.
+func (p *Plan) Events() []Event { return append([]Event(nil), p.events...) }
+
+// DeadCores returns the IDs of cores with a CoreDie fault, sorted — the
+// membership a failure-aware collective must exclude.
+func (p *Plan) DeadCores() []int {
+	var ids []int
+	for _, f := range p.faults {
+		if f.Kind == CoreDie {
+			ids = append(ids, f.Core)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Install wires the plan into a chip: core/flag/MPB faults through the
+// scc.FaultHook and link faults through the mesh injector.
+func Install(c *scc.Chip, p *Plan) {
+	c.Fault = p
+	c.Net.SetInjector(p)
+}
+
+func (p *Plan) record(f *Fault, at simtime.Time, site string) {
+	f.fired = true
+	p.events = append(p.events, Event{Kind: f.Kind, At: at, Site: site})
+}
+
+// LinkDelay implements mesh.Injector: packets crossing a stalled link
+// inside its window are held until the window closes.
+func (p *Plan) LinkDelay(from, to mesh.Coord, at simtime.Time) simtime.Duration {
+	var d simtime.Duration
+	for _, f := range p.faults {
+		if f.Kind != LinkStall || f.From != from || f.To != to {
+			continue
+		}
+		if at < f.At || at >= f.At+f.Dur {
+			continue
+		}
+		if !f.fired {
+			p.record(f, at, fmt.Sprintf("link %v->%v", from, to))
+		}
+		if hold := f.At + f.Dur - at; hold > d {
+			d = hold
+		}
+	}
+	return d
+}
+
+// StallCore implements scc.FaultHook.
+func (p *Plan) StallCore(core int, now simtime.Time) simtime.Duration {
+	var d simtime.Duration
+	for _, f := range p.faults {
+		if f.Kind == CoreStall && f.Core == core && !f.fired && now >= f.At {
+			p.record(f, now, fmt.Sprintf("core%02d", core))
+			d += f.Dur
+		}
+	}
+	return d
+}
+
+// CoreDead implements scc.FaultHook.
+func (p *Plan) CoreDead(core int, now simtime.Time) bool {
+	for _, f := range p.faults {
+		if f.Kind == CoreDie && f.Core == core && now >= f.At {
+			if !f.fired {
+				p.record(f, now, fmt.Sprintf("core%02d", core))
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DropFlagWrite implements scc.FaultHook.
+func (p *Plan) DropFlagWrite(writer, off int, now simtime.Time) bool {
+	for _, f := range p.faults {
+		if f.Kind != FlagDrop || f.fired || f.Core != writer || now < f.At {
+			continue
+		}
+		if f.Off >= 0 && f.Off != off {
+			continue
+		}
+		p.record(f, now, fmt.Sprintf("core%02d flag@%d", writer, off))
+		return true
+	}
+	return false
+}
+
+// FilterMPBWrite implements scc.FaultHook.
+func (p *Plan) FilterMPBWrite(writer, off int, data []byte, now simtime.Time) bool {
+	for _, f := range p.faults {
+		if f.fired || f.Core != writer || now < f.At {
+			continue
+		}
+		switch f.Kind {
+		case MPBDrop:
+			p.record(f, now, fmt.Sprintf("core%02d mpb@%d (%dB)", writer, off, len(data)))
+			return true
+		case MPBCorrupt:
+			pat := f.XOR
+			if pat == 0 {
+				pat = 0xFF
+			}
+			n := len(data)
+			if n > 32 {
+				n = 32 // single-line corruption
+			}
+			for i := 0; i < n; i++ {
+				data[i] ^= pat
+			}
+			p.record(f, now, fmt.Sprintf("core%02d mpb@%d (%dB)", writer, off, len(data)))
+			return false
+		}
+	}
+	return false
+}
+
+// Random builds a plan of n recoverable faults drawn deterministically
+// from seed, with activation times uniform over [0, horizon). The mix —
+// link stalls, flag drops, dropped and corrupted MPB writes, core stalls
+// — is exactly the set the hardened protocol can survive; CoreDie is
+// never generated (it requires survivor-set collectives, not retries).
+func Random(seed int64, n int, horizon simtime.Duration, m *timing.Model) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPlan()
+	if horizon <= 0 {
+		horizon = 1
+	}
+	for i := 0; i < n; i++ {
+		at := simtime.Time(rng.Int63n(int64(horizon)))
+		core := rng.Intn(m.NumCores())
+		switch rng.Intn(5) {
+		case 0: // link stall on a random directed mesh link
+			x := rng.Intn(m.MeshWidth)
+			y := rng.Intn(m.MeshHeight)
+			from := mesh.Coord{X: x, Y: y}
+			to := from
+			if rng.Intn(2) == 0 && m.MeshWidth > 1 {
+				to.X = x + 1
+				if to.X >= m.MeshWidth {
+					to.X = x - 1
+				}
+			} else if m.MeshHeight > 1 {
+				to.Y = y + 1
+				if to.Y >= m.MeshHeight {
+					to.Y = y - 1
+				}
+			} else {
+				to.X = (x + 1) % m.MeshWidth
+			}
+			dur := simtime.Microseconds(int64(2 + rng.Intn(20)))
+			p.Add(Fault{Kind: LinkStall, At: at, Dur: dur, From: from, To: to})
+		case 1:
+			p.Add(Fault{Kind: FlagDrop, At: at, Core: core, Off: -1})
+		case 2:
+			p.Add(Fault{Kind: MPBDrop, At: at, Core: core})
+		case 3:
+			p.Add(Fault{Kind: MPBCorrupt, At: at, Core: core, XOR: byte(1 + rng.Intn(255))})
+		default:
+			dur := simtime.Microseconds(int64(5 + rng.Intn(45)))
+			p.Add(Fault{Kind: CoreStall, At: at, Dur: dur, Core: core})
+		}
+	}
+	return p
+}

@@ -11,7 +11,18 @@ import (
 
 	"scc/internal/rcce"
 	"scc/internal/scc"
+	"scc/internal/timing"
 )
+
+// Costs returns the lightweight library's software-overhead profile for a
+// model: fixed slots, no lists, no allocation.
+func Costs(m *timing.Model) rcce.NBCosts {
+	return rcce.NBCosts{
+		Post:     m.OverheadLightweightPost,
+		Wait:     m.OverheadLightweightWait,
+		Progress: m.OverheadLightweightWait / 4,
+	}
+}
 
 // Lib is a per-UE instance of the lightweight library. Its two slots are
 // the entire request state.
@@ -25,15 +36,22 @@ type Lib struct {
 
 // New creates the library instance for one UE.
 func New(ue *rcce.UE) *Lib {
-	m := ue.Core().Chip().Model
-	return &Lib{
-		ue: ue,
-		costs: rcce.NBCosts{
-			Post:     m.OverheadLightweightPost,
-			Wait:     m.OverheadLightweightWait,
-			Progress: m.OverheadLightweightWait / 4,
-		},
-	}
+	return &Lib{ue: ue, costs: Costs(ue.Core().Chip().Model)}
+}
+
+// SendRobust / RecvRobust / ExchangeRobust run the hardened protocol
+// (sequence numbers, checksums, retransmit with backoff) at the
+// lightweight library's software-overhead profile.
+func (l *Lib) SendRobust(pol rcce.Policy, dest int, addr scc.Addr, nBytes int) error {
+	return l.ue.SendRobust(l.costs, pol, dest, addr, nBytes)
+}
+
+func (l *Lib) RecvRobust(pol rcce.Policy, src int, addr scc.Addr, nBytes int) error {
+	return l.ue.RecvRobust(l.costs, pol, src, addr, nBytes)
+}
+
+func (l *Lib) ExchangeRobust(pol rcce.Policy, dest int, sAddr scc.Addr, sBytes int, src int, rAddr scc.Addr, rBytes int) error {
+	return l.ue.ExchangeRobust(l.costs, pol, dest, sAddr, sBytes, src, rAddr, rBytes)
 }
 
 // UE returns the underlying unit of execution.

@@ -51,6 +51,16 @@ type linkKey struct {
 	from, to Coord
 }
 
+// Injector lets a fault model add delay to individual link traversals.
+// LinkDelay is consulted once per directed link a packet head crosses,
+// with the virtual time of the crossing; a positive return stalls the
+// head (and everything queued behind it) by that many ticks. A nil or
+// always-zero injector leaves timing bit-identical to the fault-free
+// network.
+type Injector interface {
+	LinkDelay(from, to Coord, at simtime.Time) simtime.Duration
+}
+
 // Network is the mesh fabric. It tracks per-link occupancy so that
 // overlapping transfers contend. Methods are not safe for concurrent use;
 // the simulation engine serializes all processes.
@@ -58,6 +68,7 @@ type Network struct {
 	model *timing.Model
 
 	busyUntil map[linkKey]simtime.Time
+	inj       Injector
 
 	// Statistics.
 	transfers    int64
@@ -65,7 +76,12 @@ type Network struct {
 	totalBytes   int64
 	contended    int64 // transfers that waited on at least one busy link
 	totalQueueed simtime.Duration
+	faultHits    int64
+	faultDelay   simtime.Duration
 }
+
+// SetInjector installs (or, with nil, removes) a fault injector.
+func (n *Network) SetInjector(inj Injector) { n.inj = inj }
 
 // New creates a network using the model's geometry and link parameters.
 func New(model *timing.Model) *Network {
@@ -110,6 +126,13 @@ func (n *Network) Transfer(from, to Coord, nBytes int, start simtime.Time) simti
 	for i := 0; i+1 < len(route); i++ {
 		lk := linkKey{route[i], route[i+1]}
 		headAt += hop
+		if n.inj != nil {
+			if d := n.inj.LinkDelay(lk.from, lk.to, headAt); d > 0 {
+				headAt += d
+				n.faultHits++
+				n.faultDelay += d
+			}
+		}
 		if until, ok := n.busyUntil[lk]; ok && until > headAt {
 			n.totalQueueed += until - headAt
 			headAt = until
@@ -130,6 +153,10 @@ type Stats struct {
 	TotalBytes int64
 	Contended  int64
 	Queued     simtime.Duration
+	// FaultHits / FaultDelay count injected link stalls and their total
+	// added latency (zero when no injector is installed).
+	FaultHits  int64
+	FaultDelay simtime.Duration
 }
 
 // Stats returns the accumulated counters.
@@ -140,13 +167,17 @@ func (n *Network) Stats() Stats {
 		TotalBytes: n.totalBytes,
 		Contended:  n.contended,
 		Queued:     n.totalQueueed,
+		FaultHits:  n.faultHits,
+		FaultDelay: n.faultDelay,
 	}
 }
 
-// Reset clears link occupancy and statistics.
+// Reset clears link occupancy and statistics. The injector, if any,
+// stays installed.
 func (n *Network) Reset() {
 	n.busyUntil = make(map[linkKey]simtime.Time)
 	n.transfers, n.totalHops, n.totalBytes, n.contended, n.totalQueueed = 0, 0, 0, 0, 0
+	n.faultHits, n.faultDelay = 0, 0
 }
 
 func abs(v int) int {

@@ -37,6 +37,18 @@ const (
 	// double-buffer half 0/1, you may overwrite it".
 	FlagMPBReady0 = 6
 	FlagMPBReady1 = 7
+	// FlagChk0..FlagChk0+3: sender -> receiver, FNV-1a checksum of the
+	// staged chunk (hardened protocol only; lives in the sent-flag line).
+	FlagChk0 = 8
+	// FlagProgress: receiver -> sender, sequence number of the last chunk
+	// the receiver fully consumed. The hardened sender probes it on
+	// timeout to distinguish a lost data chunk from a lost ACK.
+	FlagProgress = 12
+	// FlagGroupArrive/Release: generation-valued barrier flags for
+	// group (survivor-set) barriers, kept separate from the full-chip
+	// barrier's so the two generation counters cannot desynchronize.
+	FlagGroupArrive  = 13
+	FlagGroupRelease = 14
 )
 
 // Unexported aliases keep the package-internal protocol code terse.
@@ -89,7 +101,14 @@ func (c *Comm) DataBytes() int {
 // UE returns the unit-of-execution handle for a core. Call from inside
 // the core's simulated program.
 func (c *Comm) UE(coreID int) *UE {
-	return &UE{comm: c, core: c.chip.Cores[coreID], barrierGen: make(map[int]byte)}
+	return &UE{
+		comm:       c,
+		core:       c.chip.Cores[coreID],
+		barrierGen: make(map[int]byte),
+		groupGen:   make(map[int]byte),
+		sendSeq:    make(map[int]byte),
+		recvSeq:    make(map[int]byte),
+	}
 }
 
 // UE ("unit of execution" in RCCE terminology) is the per-core handle to
@@ -100,13 +119,21 @@ type UE struct {
 
 	// barrierGen tracks the barrier generation per root so barriers are
 	// reusable without extra clearing round trips; dissemGen does the
-	// same for the dissemination barrier.
+	// same for the dissemination barrier, groupGen for group barriers.
 	barrierGen map[int]byte
+	groupGen   map[int]byte
 	dissemGen  byte
 
 	// activeSend is the send request currently occupying the core's MPB
 	// staging region (see PostSend).
 	activeSend *Request
+
+	// sendSeq / recvSeq hold the hardened protocol's next sequence
+	// number per peer (see robust.go); stats accumulates its recovery
+	// counters.
+	sendSeq map[int]byte
+	recvSeq map[int]byte
+	stats   RecoveryStats
 }
 
 // ID returns the UE's rank (== core ID).
@@ -201,6 +228,7 @@ func (u *UE) Send(dest int, addr scc.Addr, nBytes int) {
 		u.core.SetFlag(sent, 1)
 		u.core.WaitFlag(ready, 1)
 		u.core.SetFlag(ready, 0) // clear ready (local line)
+		u.core.Note(fmt.Sprintf("send->%02d: %d/%d B acked", dest, off+n, nBytes))
 		if nBytes == 0 {
 			break
 		}
@@ -224,6 +252,7 @@ func (u *UE) Recv(src int, addr scc.Addr, nBytes int) {
 		u.core.SetFlag(sent, 0) // clear sent (local line)
 		u.Get(u.comm.DataBase(src), addr+scc.Addr(off), n)
 		u.core.SetFlag(ready, 1)
+		u.core.Note(fmt.Sprintf("recv<-%02d: %d/%d B consumed", src, off+n, nBytes))
 		if nBytes == 0 {
 			break
 		}

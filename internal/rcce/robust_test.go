@@ -1,0 +1,220 @@
+package rcce
+
+import (
+	"errors"
+	"testing"
+
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// dropHook is a minimal scc.FaultHook for protocol tests: it drops the
+// first nDropFlag flag writes by a given core at or after a trigger time,
+// and corrupts the first nCorrupt bulk writes.
+type dropHook struct {
+	core      int
+	after     simtime.Time
+	skipFlag  int // let this many matching flag writes through first
+	nDropFlag int
+	nCorrupt  int
+}
+
+func (h *dropHook) StallCore(core int, now simtime.Time) simtime.Duration { return 0 }
+func (h *dropHook) CoreDead(core int, now simtime.Time) bool              { return false }
+
+func (h *dropHook) DropFlagWrite(writer, off int, now simtime.Time) bool {
+	if writer != h.core || now < h.after || h.nDropFlag <= 0 {
+		return false
+	}
+	if h.skipFlag > 0 {
+		h.skipFlag--
+		return false
+	}
+	h.nDropFlag--
+	return true
+}
+
+func (h *dropHook) FilterMPBWrite(writer, off int, data []byte, now simtime.Time) bool {
+	if writer == h.core && now >= h.after && h.nCorrupt > 0 {
+		h.nCorrupt--
+		for i := range data {
+			data[i] ^= 0xA5
+		}
+	}
+	return false
+}
+
+// fill writes a recognizable pattern of n float64s.
+func fill(core *scc.Core, a scc.Addr, n int, scale float64) {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = scale + float64(i)
+	}
+	core.WriteF64s(a, v)
+}
+
+func checkVals(t *testing.T, core *scc.Core, a scc.Addr, n int, scale float64) {
+	t.Helper()
+	got := make([]float64, n)
+	core.ReadF64s(a, got)
+	for i, v := range got {
+		if v != scale+float64(i) {
+			t.Fatalf("value[%d] = %v, want %v", i, v, scale+float64(i))
+		}
+	}
+}
+
+func runRobustPair(t *testing.T, hook scc.FaultHook, n int) (simtime.Time, RecoveryStats) {
+	t.Helper()
+	chip := scc.New(timing.Default())
+	chip.Fault = hook
+	comm := NewComm(chip)
+	costs := NBCosts{Post: 500, Wait: 400, Progress: 300}
+	pol := Policy{Timeout: simtime.Microseconds(200), Backoff: 2, MaxRetries: 8}
+	var stats RecoveryStats
+	chip.LaunchOne(0, func(core *scc.Core) {
+		u := comm.UE(0)
+		a := core.AllocF64(n)
+		fill(core, a, n, 1000)
+		if err := u.SendRobust(costs, pol, 1, a, 8*n); err != nil {
+			t.Errorf("SendRobust: %v", err)
+		}
+		stats.Add(u.Recovery())
+	})
+	chip.LaunchOne(1, func(core *scc.Core) {
+		u := comm.UE(1)
+		a := core.AllocF64(n)
+		if err := u.RecvRobust(costs, pol, 0, a, 8*n); err != nil {
+			t.Errorf("RecvRobust: %v", err)
+		}
+		checkVals(t, core, a, n, 1000)
+		stats.Add(u.Recovery())
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return chip.Now(), stats
+}
+
+func TestRobustSendRecvFaultFree(t *testing.T) {
+	_, stats := runRobustPair(t, nil, 1000) // multi-chunk: 8000 B > 6528 B region
+	if stats.Retransmits != 0 || stats.Nacks != 0 {
+		t.Fatalf("fault-free run did defensive work: %+v", stats)
+	}
+}
+
+func TestRobustRecoversLostFlagWrite(t *testing.T) {
+	// Drop one flag write by the sender early on: the sent announcement
+	// vanishes and the timeout/retransmit path must recover it.
+	end, stats := runRobustPair(t, &dropHook{core: 0, nDropFlag: 1}, 64)
+	if stats.Timeouts == 0 || stats.Retransmits == 0 {
+		t.Fatalf("expected timeout+retransmit recovery, got %+v", stats)
+	}
+	if stats.Recovery <= 0 {
+		t.Fatalf("recovery latency not measured: %+v", stats)
+	}
+	// Determinism: same fault, same latency.
+	end2, stats2 := runRobustPair(t, &dropHook{core: 0, nDropFlag: 1}, 64)
+	if end != end2 || stats != stats2 {
+		t.Fatalf("recovery not deterministic: %v/%+v vs %v/%+v", end, stats, end2, stats2)
+	}
+}
+
+func TestRobustRecoversLostAck(t *testing.T) {
+	// Drop the receiver's ACK write (its second flag write; the first is
+	// the local clear of the sent flag): the sender must recover via the
+	// progress byte or a duplicate retransmission.
+	_, stats := runRobustPair(t, &dropHook{core: 1, skipFlag: 1, nDropFlag: 1}, 64)
+	if stats.Timeouts == 0 {
+		t.Fatalf("expected a timeout, got %+v", stats)
+	}
+	if stats.LostAcks == 0 && stats.DupAcks == 0 {
+		t.Fatalf("expected lost-ACK recovery, got %+v", stats)
+	}
+}
+
+func TestRobustDetectsCorruption(t *testing.T) {
+	// Corrupt the sender's first bulk MPB write (the data chunk): the
+	// checksum must catch it and a NACK must trigger retransmission.
+	_, stats := runRobustPair(t, &dropHook{core: 0, nCorrupt: 1}, 64)
+	if stats.Nacks == 0 {
+		t.Fatalf("corruption not NACKed: %+v", stats)
+	}
+	if stats.Retransmits == 0 {
+		t.Fatalf("corrupt chunk not retransmitted: %+v", stats)
+	}
+}
+
+func TestRobustExchangeFullDuplex(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := NewComm(chip)
+	costs := NBCosts{Post: 500, Wait: 400, Progress: 300}
+	pol := DefaultPolicy()
+	const n = 256
+	for id := 0; id < 2; id++ {
+		id := id
+		chip.LaunchOne(id, func(core *scc.Core) {
+			u := comm.UE(id)
+			src := core.AllocF64(n)
+			dst := core.AllocF64(n)
+			fill(core, src, n, float64(100*(id+1)))
+			peer := 1 - id
+			// Both cores send first (no odd/even ordering): full duplex
+			// must not deadlock.
+			if err := u.ExchangeRobust(costs, pol, peer, src, 8*n, peer, dst, 8*n); err != nil {
+				t.Errorf("ExchangeRobust: %v", err)
+			}
+			checkVals(t, core, dst, n, float64(100*(peer+1)))
+		})
+	}
+	if err := chip.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRobustUnreachablePeer(t *testing.T) {
+	// Nobody ever receives: the sender must give up with ErrUnreachable
+	// instead of hanging, and the engine must not report a deadlock.
+	chip := scc.New(timing.Default())
+	comm := NewComm(chip)
+	pol := Policy{Timeout: simtime.Microseconds(50), Backoff: 2, MaxRetries: 3}
+	var sendErr error
+	chip.LaunchOne(0, func(core *scc.Core) {
+		u := comm.UE(0)
+		a := core.AllocF64(8)
+		sendErr = u.SendRobust(NBCosts{Post: 500, Wait: 400}, pol, 1, a, 64)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(sendErr, ErrUnreachable) {
+		t.Fatalf("sendErr = %v, want ErrUnreachable", sendErr)
+	}
+}
+
+func TestBarrierGroup(t *testing.T) {
+	chip := scc.New(timing.Default())
+	comm := NewComm(chip)
+	members := []int{1, 3, 5, 7}
+	reached := make([]simtime.Time, 8)
+	for _, id := range members {
+		id := id
+		chip.LaunchOne(id, func(core *scc.Core) {
+			u := comm.UE(id)
+			if id == 3 {
+				core.Compute(simtime.Microseconds(500)) // straggler
+			}
+			u.BarrierGroup(members)
+			reached[id] = core.Now()
+		})
+	}
+	if err := chip.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, id := range members {
+		if reached[id] < simtime.Time(simtime.Microseconds(500)) {
+			t.Fatalf("core %d passed the barrier at %v, before the straggler", id, reached[id])
+		}
+	}
+}

@@ -17,12 +17,41 @@ import (
 	"scc/internal/timing"
 )
 
+// FaultHook lets a fault-injection plan intercept shared-state actions.
+// All methods are consulted on the simulated program's critical path, so
+// implementations must be deterministic functions of (location, virtual
+// time). A nil hook is the fault-free chip. See internal/fault for the
+// seeded implementation.
+type FaultHook interface {
+	// StallCore returns extra latency to impose on the core's next
+	// shared-state access (a transient core stall), or 0.
+	StallCore(core int, now simtime.Time) simtime.Duration
+	// CoreDead reports whether the core has permanently failed at or
+	// before now. A dead core's process terminates at its next
+	// shared-state access and never resumes.
+	CoreDead(core int, now simtime.Time) bool
+	// DropFlagWrite reports whether a single-byte flag write by writer
+	// to MPB offset off should be lost in flight (cost is still paid,
+	// the flag value never lands, no waiter wakes).
+	DropFlagWrite(writer, off int, now simtime.Time) bool
+	// FilterMPBWrite may corrupt a bulk MPB write in place (mutate
+	// data) and/or return true to drop it entirely.
+	FilterMPBWrite(writer, off int, data []byte, now simtime.Time) bool
+}
+
+// coreDeadPanic unwinds a simulated process whose core was declared dead
+// by the fault hook. It is recovered by the Launch wrapper.
+type coreDeadPanic struct{ id int }
+
 // Chip is one simulated SCC plus its simulation engine.
 type Chip struct {
 	Model  *timing.Model
 	Engine *simtime.Engine
 	Net    *mesh.Network
 	Cores  []*Core
+	// Fault, when non-nil, intercepts shared-state actions for fault
+	// injection. Install it before Run (typically right after New).
+	Fault FaultHook
 
 	mpb      []byte
 	flagSigs map[int]*simtime.Signal
@@ -117,6 +146,7 @@ func (c *Chip) Launch(fn func(core *Core)) {
 	for _, core := range c.Cores {
 		core := core
 		core.proc = c.Engine.Spawn(fmt.Sprintf("core%02d", core.ID), func(p *simtime.Proc) {
+			defer recoverCoreDeath(core, p)
 			fn(core)
 			core.flushLocal() // apply trailing deferred latency
 		})
@@ -128,9 +158,24 @@ func (c *Chip) Launch(fn func(core *Core)) {
 func (c *Chip) LaunchOne(coreID int, fn func(core *Core)) {
 	core := c.Cores[coreID]
 	core.proc = c.Engine.Spawn(fmt.Sprintf("core%02d", coreID), func(p *simtime.Proc) {
+		defer recoverCoreDeath(core, p)
 		fn(core)
 		core.flushLocal()
 	})
+}
+
+// recoverCoreDeath absorbs the panic that unwinds a process whose core an
+// injected fault declared dead: the process simply terminates (its flags
+// go silent, exactly like a hung real core). Every other panic — including
+// the engine's shutdown sentinel — is re-raised untouched.
+func recoverCoreDeath(core *Core, p *simtime.Proc) {
+	if r := recover(); r != nil {
+		if _, ok := r.(coreDeadPanic); !ok {
+			panic(r)
+		}
+		core.dead = true
+		p.SetNote(fmt.Sprintf("core%02d died at %v (injected fault)", core.ID, p.Now()))
+	}
 }
 
 // Run executes the simulation to completion and returns the engine error

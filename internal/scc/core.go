@@ -43,7 +43,41 @@ type Core struct {
 	freqDiv int
 	energy  float64
 
+	// dead marks a core whose process was terminated by an injected
+	// permanent-failure fault.
+	dead bool
+
 	prof Profile
+}
+
+// Dead reports whether an injected fault has permanently killed this core.
+func (c *Core) Dead() bool { return c.dead }
+
+// Note records the core's last successful protocol step; it appears in
+// deadlock reports next to the blocking point. Safe to call before Launch
+// (no-op).
+func (c *Core) Note(note string) {
+	if c.proc != nil {
+		c.proc.SetNote(note)
+	}
+}
+
+// faultCheck applies pending core-level faults (transient stall, permanent
+// death) on the shared-state path. Called with local latency already
+// flushed.
+func (c *Core) faultCheck() {
+	h := c.chip.Fault
+	if h == nil || c.proc == nil {
+		return
+	}
+	now := c.proc.Now()
+	if d := h.StallCore(c.ID, now); d > 0 {
+		c.proc.Sleep(d)
+	}
+	if h.CoreDead(c.ID, now) {
+		c.dead = true
+		panic(coreDeadPanic{c.ID})
+	}
 }
 
 // SetSpanRecorder installs a span hook (nil disables recording).
@@ -265,6 +299,7 @@ func (c *Core) mpbLineAccess(owner int, read bool) {
 // behind contended links.
 func (c *Core) mpbAccessCost(owner, nLines int, read bool) simtime.Duration {
 	c.flushLocal() // MPB state is shared; local time must be applied first
+	c.faultCheck()
 	m := c.chip.Model
 	hops := c.mpbHops(owner)
 	lat := m.MPBAccess(hops, read)
@@ -304,6 +339,16 @@ func (c *Core) MPBWrite(off int, src []byte) {
 	m := c.chip.Model
 	owner := c.chip.MPBOwner(off)
 	c.proc.Sleep(c.mpbAccessCost(owner, m.Lines(len(src)), false))
+	if h := c.chip.Fault; h != nil {
+		data := append([]byte(nil), src...)
+		if h.FilterMPBWrite(c.ID, off, data, c.proc.Now()) {
+			// Lost in flight: the cost is paid, nothing lands, nobody
+			// wakes. The caller's buffer is never mutated.
+			c.prof.MPBBytesWritten += int64(len(src))
+			return
+		}
+		src = data
+	}
 	copy(c.chip.mpb[off:], src)
 	c.prof.MPBBytesWritten += int64(len(src))
 	c.notifyFlagWaiters(off, len(src))
@@ -347,6 +392,9 @@ func (c *Core) SetFlag(off int, v byte) {
 	c.checkMPBRange(off, 1)
 	owner := c.chip.MPBOwner(off)
 	c.mpbLineAccess(owner, false)
+	if h := c.chip.Fault; h != nil && h.DropFlagWrite(c.ID, off, c.proc.Now()) {
+		return // flag write lost in flight: cost paid, no update, no wake-up
+	}
 	c.chip.mpb[off] = v
 	c.chip.flagSignal(off).Broadcast(c.chip.Engine)
 	for _, s := range c.chip.anyWaiters[off] {

@@ -1,0 +1,114 @@
+package scc
+
+import (
+	"fmt"
+
+	"scc/internal/simtime"
+)
+
+// This file holds the bounded (timeout-capable) flag waits used by the
+// hardened point-to-point protocol. The plain WaitFlag/WaitFlagAny in
+// core.go wait forever — correct on a fault-free chip, but a single lost
+// flag write turns them into a hang. The variants here bound the wait and
+// match by predicate (the robust protocol's flags carry sequence numbers,
+// not just 0/1).
+
+// WaitFlagMatch blocks until pred is true of the MPB flag byte at off, or
+// until limit elapses (limit <= 0 waits forever). It returns the flag
+// value last observed and whether it matched. Every probe pays one MPB
+// line read, and a timed-out wait still pays the final disappointing
+// probe, so defensive waiting has a measured cost.
+func (c *Core) WaitFlagMatch(off int, limit simtime.Duration, pred func(byte) bool) (byte, bool) {
+	c.checkMPBRange(off, 1)
+	owner := c.chip.MPBOwner(off)
+	begin := c.proc.Now()
+	deadline := begin + limit
+	blocked := false
+	finish := func(v byte, ok bool) (byte, bool) {
+		c.prof.FlagWait += c.proc.Now() - begin
+		if blocked {
+			c.prof.FlagWaits++
+			c.RecordSpan("wait-flag", begin, c.proc.Now())
+		}
+		return v, ok
+	}
+	for {
+		c.mpbLineAccess(owner, true)
+		if v := c.chip.mpb[off]; pred(v) {
+			return finish(v, true)
+		}
+		if limit > 0 && c.proc.Now() >= deadline {
+			return finish(c.chip.mpb[off], false)
+		}
+		blocked = true
+		c.chip.waiting[off]++
+		where := fmt.Sprintf("core%02d flag@%d match", c.ID, off)
+		if limit > 0 {
+			c.proc.WaitOnTimeout(c.chip.flagSignal(off), deadline-c.proc.Now(), where)
+		} else {
+			c.proc.WaitOn(c.chip.flagSignal(off), where)
+		}
+		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
+			delete(c.chip.waiting, off)
+		}
+	}
+}
+
+// WaitFlagsMatch blocks until pred(i, v) is true of some watched flag, or
+// until limit elapses (limit <= 0 waits forever). It returns the index and
+// value of the first (lowest-index) match, or (-1, 0, false) on timeout.
+// Each probe round pays one MPB read per flag checked, short-circuiting at
+// the first match. This is the full-duplex engine's wait: one core watches
+// its send-ack and its recv-data flags at once.
+func (c *Core) WaitFlagsMatch(offs []int, limit simtime.Duration, pred func(i int, v byte) bool) (int, byte, bool) {
+	if len(offs) == 0 {
+		panic("scc: WaitFlagsMatch with no flags")
+	}
+	begin := c.proc.Now()
+	deadline := begin + limit
+	blocked := false
+	finish := func() {
+		c.prof.FlagWait += c.proc.Now() - begin
+		if blocked {
+			c.prof.FlagWaits++
+		}
+	}
+	for {
+		for i, off := range offs {
+			c.checkMPBRange(off, 1)
+			c.mpbLineAccess(c.chip.MPBOwner(off), true)
+			if v := c.chip.mpb[off]; pred(i, v) {
+				finish()
+				return i, v, true
+			}
+		}
+		if limit > 0 && c.proc.Now() >= deadline {
+			finish()
+			return -1, 0, false
+		}
+		blocked = true
+		if limit > 0 {
+			c.waitAnyBlockTimeout(offs, deadline-c.proc.Now())
+		} else {
+			c.waitAnyBlock(offs)
+		}
+	}
+}
+
+// waitAnyBlockTimeout is waitAnyBlock with a bounded wait: it returns
+// after d ticks even if no watched flag is written. Registration cleanup
+// is identical on both wake-up paths.
+func (c *Core) waitAnyBlockTimeout(offs []int, d simtime.Duration) {
+	one := &simtime.Signal{}
+	for _, off := range offs {
+		c.chip.anyWaiters[off] = append(c.chip.anyWaiters[off], one)
+		c.chip.waiting[off]++
+	}
+	c.proc.WaitOnTimeout(one, d, fmt.Sprintf("core%02d any-flag %v", c.ID, offs))
+	for _, off := range offs {
+		c.chip.anyWaiters[off] = removeSignal(c.chip.anyWaiters[off], one)
+		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
+			delete(c.chip.waiting, off)
+		}
+	}
+}

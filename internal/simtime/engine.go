@@ -18,6 +18,12 @@ type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: insertion order, for determinism
 	proc *Proc
+	// gen snapshots the process's wake generation at schedule time. A
+	// process that blocks with two pending wake-up sources (a signal and
+	// a timeout, see Proc.WaitOnTimeout) is resumed by whichever fires
+	// first; the loser's event is recognized as stale by its generation
+	// and discarded instead of resuming the process at the wrong point.
+	gen uint64
 }
 
 type eventHeap []event
@@ -92,7 +98,7 @@ func (e *Engine) schedule(p *Proc, at Time) {
 		panic(fmt.Sprintf("simtime: scheduling %q in the past (%d < %d)", p.name, at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, proc: p})
+	heap.Push(&e.queue, event{at: at, seq: e.seq, proc: p, gen: p.wakeGen})
 }
 
 // Run executes the simulation until every process has returned. It returns
@@ -123,6 +129,9 @@ func (e *Engine) Run() error {
 		ev := heap.Pop(&e.queue).(event)
 		if ev.proc.done {
 			continue // stale wake-up for a finished process
+		}
+		if ev.gen != ev.proc.wakeGen {
+			continue // stale wake-up: the process was resumed by another source
 		}
 		if e.limited && ev.at > e.limit {
 			err := fmt.Errorf("%w: next event at %v > limit %v", ErrTimeLimit, ev.at, e.limit)
@@ -180,7 +189,11 @@ func (e *Engine) deadlockError() error {
 			if where == "" {
 				where = "unknown"
 			}
-			stuck = append(stuck, fmt.Sprintf("%s (waiting: %s)", p.name, where))
+			if p.note != "" {
+				stuck = append(stuck, fmt.Sprintf("%s (waiting: %s; last step: %s)", p.name, where, p.note))
+			} else {
+				stuck = append(stuck, fmt.Sprintf("%s (waiting: %s)", p.name, where))
+			}
 		}
 	}
 	sort.Strings(stuck)

@@ -17,7 +17,12 @@ type Proc struct {
 	done      bool
 	killed    bool   // set by Engine.shutdown to abort the goroutine
 	blockedAt string // description of the current blocking point, for deadlock reports
+	note      string // last successful protocol step, for deadlock reports
 	started   bool
+
+	// wakeGen counts resumes. Events snapshot it at schedule time so the
+	// engine can discard wake-ups that lost a race (see event.gen).
+	wakeGen uint64
 }
 
 // killSentinel is the panic value used to unwind force-terminated process
@@ -75,6 +80,7 @@ func (p *Proc) block(where string) {
 	p.blockedAt = where
 	p.yield <- struct{}{}
 	<-p.resume
+	p.wakeGen++ // any event scheduled before this resume is now stale
 	if p.killed {
 		panic(killSentinel{})
 	}
@@ -106,6 +112,37 @@ func (p *Proc) WaitOn(s *Signal, where string) {
 	s.waiters = append(s.waiters, p)
 	p.block(where)
 }
+
+// WaitOnTimeout blocks the process until s is signaled or d ticks elapse,
+// whichever comes first. It reports true if the signal fired, false on
+// timeout. The loser of the race is discarded via the wake-generation
+// mechanism, so a later Broadcast cannot resume the process at the wrong
+// point, and an expired timer event is skipped harmlessly.
+func (p *Proc) WaitOnTimeout(s *Signal, d Duration, where string) bool {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	s.waiters = append(s.waiters, p)
+	p.block(where)
+	// Broadcast removes its waiters from the list; if we are still
+	// registered, the timer won the race and we must deregister ourselves.
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return false
+		}
+	}
+	return true
+}
+
+// SetNote records the process's last successful protocol step. It is
+// included in deadlock reports next to the blocking point, so a hang
+// names both where the process is stuck and what it last achieved.
+func (p *Proc) SetNote(note string) { p.note = note }
+
+// Note returns the last note set with SetNote.
+func (p *Proc) Note() string { return p.note }
 
 // Signal is a broadcast wake-up point: processes block on it with WaitOn
 // and are all released by Broadcast. The zero value is ready to use.

@@ -1,0 +1,110 @@
+package simtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A signal raised before the deadline must win the race, and the stale
+// timer event must not perturb the waiter's subsequent virtual time.
+func TestWaitOnTimeoutSignalWins(t *testing.T) {
+	eng := NewEngine()
+	var sig Signal
+	var got bool
+	var wake Time
+	eng.Spawn("waiter", func(p *Proc) {
+		got = p.WaitOnTimeout(&sig, 100, "flag")
+		wake = p.Now()
+		p.Sleep(500) // cross the stale timer's deadline
+	})
+	eng.Spawn("signaler", func(p *Proc) {
+		p.Sleep(30)
+		sig.Broadcast(eng)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !got {
+		t.Fatal("expected signal to win, got timeout")
+	}
+	if wake != 30 {
+		t.Fatalf("woke at %v, want 30", wake)
+	}
+	if sig.Waiters() != 0 {
+		t.Fatalf("signal still has %d waiters", sig.Waiters())
+	}
+}
+
+// With nobody signaling, the timer must fire at exactly now+d and the
+// waiter must be deregistered from the signal.
+func TestWaitOnTimeoutExpires(t *testing.T) {
+	eng := NewEngine()
+	var sig Signal
+	var got bool
+	var wake Time
+	eng.Spawn("waiter", func(p *Proc) {
+		got = p.WaitOnTimeout(&sig, 250, "flag")
+		wake = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got {
+		t.Fatal("expected timeout, got signal")
+	}
+	if wake != 250 {
+		t.Fatalf("woke at %v, want 250", wake)
+	}
+	if sig.Waiters() != 0 {
+		t.Fatalf("timed-out waiter still registered (%d waiters)", sig.Waiters())
+	}
+}
+
+// A process may loop timeout-waits; each pending timer from a lost race
+// must be skipped, never resuming the process early.
+func TestWaitOnTimeoutRepeated(t *testing.T) {
+	eng := NewEngine()
+	var sig Signal
+	wins := 0
+	eng.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			if p.WaitOnTimeout(&sig, 10, "flag") {
+				wins++
+			}
+		}
+	})
+	eng.Spawn("signaler", func(p *Proc) {
+		p.Sleep(5)
+		sig.Broadcast(eng) // wins round 1; rounds 2 and 3 time out
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wins != 1 {
+		t.Fatalf("wins = %d, want 1", wins)
+	}
+	if eng.Now() != 25 {
+		t.Fatalf("finished at %v, want 25 (5 + 10 + 10)", eng.Now())
+	}
+}
+
+// Deadlock reports include the last note set by each stuck process.
+func TestDeadlockReportIncludesNote(t *testing.T) {
+	eng := NewEngine()
+	var sig Signal
+	eng.Spawn("stuck", func(p *Proc) {
+		p.SetNote("sent chunk 3")
+		p.WaitOn(&sig, "ack")
+	})
+	err := eng.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "last step: sent chunk 3") {
+		t.Fatalf("deadlock report missing note: %v", err)
+	}
+	if !strings.Contains(err.Error(), "waiting: ack") {
+		t.Fatalf("deadlock report missing blocking point: %v", err)
+	}
+}

@@ -129,6 +129,23 @@ type Model struct {
 	// its curve in Fig. 9 has no period-4 spikes.
 	RCKMPIPerByteCoreCycles int64
 
+	// ---- Recovery protocol overhead (core cycles) ----
+	// Costs of the hardened (fault-tolerant) point-to-point protocol:
+	// sequence numbers, per-chunk checksums and retransmit-with-backoff.
+	// Recovery latency is a measured quantity, so every defensive action
+	// is priced here rather than being free.
+
+	// ChecksumPerLineCoreCycles prices checksumming one 32 B cache line
+	// of payload (FNV-1a over the staged chunk, both sides).
+	ChecksumPerLineCoreCycles int64
+	// OverheadTimeoutCheck is the bookkeeping cost of arming/expiring one
+	// bounded flag wait (deadline computation, backoff update).
+	OverheadTimeoutCheck int64
+	// OverheadRetransmit is the sender-side cost of re-staging a chunk
+	// after a timeout or NACK, excluding the data movement itself (which
+	// is re-charged at normal Put/mesh rates).
+	OverheadRetransmit int64
+
 	// ---- Application compute throughput ----
 
 	// FlopCoreCycles prices one double-precision floating-point
@@ -179,6 +196,10 @@ func Default() *Model {
 		OverheadPartialLineCall: 250,
 		OverheadRCKMPICall:      32000,
 		RCKMPIPerByteCoreCycles: 6,
+
+		ChecksumPerLineCoreCycles: 20,
+		OverheadTimeoutCheck:      60,
+		OverheadRetransmit:        800,
 
 		FlopCoreCycles: 5,
 		TrigCoreCycles: 100,

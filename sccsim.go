@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scc/internal/core"
+	"scc/internal/fault"
 	"scc/internal/rcce"
 	"scc/internal/rckmpi"
 	"scc/internal/scc"
@@ -11,9 +12,58 @@ import (
 	"scc/internal/timing"
 )
 
+// ErrInvalid marks user errors (bad counts, out-of-range roots). All
+// collective methods return it wrapped instead of panicking.
+var ErrInvalid = core.ErrInvalid
+
+// RecoveryPolicy bounds the hardened protocol's waits: Timeout per
+// attempt, exponential Backoff factor, MaxRetries before a peer is
+// declared unreachable.
+type RecoveryPolicy = rcce.Policy
+
+// DefaultRecoveryPolicy returns the standard hardened-protocol policy.
+func DefaultRecoveryPolicy() RecoveryPolicy { return rcce.DefaultPolicy() }
+
+// FaultPlan schedules deterministic faults on the simulated chip; build
+// one with NewFaultPlan or RandomFaultPlan and install it with
+// WithFaults.
+type FaultPlan = fault.Plan
+
+// Fault is one scheduled fault; which fields matter depends on Kind
+// (see the FaultKind constants).
+type Fault = fault.Fault
+
+// FaultKind enumerates the fault classes a plan can inject.
+type FaultKind = fault.Kind
+
+// The fault classes, re-exported so programs outside this module can
+// build plans (internal/fault is not importable from there).
+const (
+	FaultLinkStall  FaultKind = fault.LinkStall
+	FaultFlagDrop   FaultKind = fault.FlagDrop
+	FaultMPBDrop    FaultKind = fault.MPBDrop
+	FaultMPBCorrupt FaultKind = fault.MPBCorrupt
+	FaultCoreStall  FaultKind = fault.CoreStall
+	FaultCoreDie    FaultKind = fault.CoreDie
+)
+
+// NewFaultPlan returns an empty plan; chain Add(Fault{...}) to fill it.
+func NewFaultPlan() *FaultPlan { return fault.NewPlan() }
+
+// RandomFaultPlan draws n recoverable faults (link stalls, flag drops,
+// MPB drops and corruptions) uniformly over the horizon from a seeded
+// generator; two calls with equal arguments yield identical plans.
+func RandomFaultPlan(seed int64, n int, horizon Duration) *FaultPlan {
+	return fault.Random(seed, n, horizon, timing.Default())
+}
+
 // Duration is virtual time on the simulated chip. It converts to wall
-// units with Micros, Millis and Seconds.
+// units with Micros, Millis and Seconds. Duration doubles as an
+// absolute virtual timestamp (Fault.At, Rank.Now).
 type Duration = simtime.Duration
+
+// Microseconds returns n microseconds of virtual time.
+func Microseconds(n int64) Duration { return simtime.Microseconds(n) }
 
 // Addr addresses a rank's private memory.
 type Addr = scc.Addr
@@ -90,8 +140,10 @@ func (s Stack) coreConfig() core.Config {
 
 // config collects construction options.
 type config struct {
-	model *timing.Model
-	stack Stack
+	model    *timing.Model
+	stack    Stack
+	faults   *fault.Plan
+	recovery *rcce.Policy
 }
 
 // Option customizes a System.
@@ -117,6 +169,21 @@ func WithHardwareBugFixed() Option {
 	}
 }
 
+// WithFaults installs a deterministic fault plan on the chip: the
+// scheduled link stalls, lost or corrupted MPB writes and core faults
+// perturb the hardware model exactly as seeded, so runs stay
+// reproducible tick for tick.
+func WithFaults(p *FaultPlan) Option { return func(c *config) { c.faults = p } }
+
+// WithRecovery runs the selected stack over the hardened protocol
+// (sequence numbers, checksums, bounded waits, retransmit with backoff):
+// collectives then return errors instead of hanging when faults exceed
+// the retry budget. It has no effect on StackRCKMPI and disables the
+// MPB-direct Allreduce fast path.
+func WithRecovery(pol RecoveryPolicy) Option {
+	return func(c *config) { p := pol; c.recovery = &p }
+}
+
 // System is one simulated SCC ready to run SPMD programs.
 type System struct {
 	cfg  config
@@ -132,6 +199,9 @@ func New(opts ...Option) *System {
 		o(&cfg)
 	}
 	chip := scc.New(cfg.model)
+	if cfg.faults != nil {
+		fault.Install(chip, cfg.faults)
+	}
 	return &System{cfg: cfg, chip: chip, comm: rcce.NewComm(chip)}
 }
 
@@ -173,9 +243,28 @@ func (s *System) newRank(c *scc.Core) *Rank {
 	if s.cfg.stack == StackRCKMPI {
 		r.mpi = rckmpi.New(r.ue)
 	} else {
-		r.ctx = core.NewCtx(r.ue, s.cfg.stack.coreConfig())
+		cfg := s.cfg.stack.coreConfig()
+		cfg.Recovery = s.cfg.recovery
+		r.ctx = core.NewCtx(r.ue, cfg)
 	}
 	return r
+}
+
+// checkRoot validates a root rank for the RCKMPI comparator paths (the
+// core stacks validate inside internal/core).
+func (r *Rank) checkRoot(fn string, root int) error {
+	if root < 0 || root >= r.N() {
+		return fmt.Errorf("sccsim: %s: %w: root %d outside [0,%d)", fn, ErrInvalid, root, r.N())
+	}
+	return nil
+}
+
+// checkN rejects negative element counts on the RCKMPI paths.
+func checkN(fn string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("sccsim: %s: %w: negative count %d", fn, ErrInvalid, n)
+	}
+	return nil
 }
 
 // ID returns this rank's core number (0..47).
@@ -202,80 +291,121 @@ func (r *Rank) ComputeCycles(n int64) { r.core.ComputeCycles(n) }
 // Profile returns the rank's instrumentation counters.
 func (r *Rank) Profile() scc.Profile { return r.core.Prof() }
 
-// Barrier synchronizes all ranks.
-func (r *Rank) Barrier() { r.ue.Barrier() }
+// Barrier synchronizes all ranks. It can only fail under WithRecovery,
+// when a peer stays silent past the retry budget.
+func (r *Rank) Barrier() error {
+	if r.mpi != nil {
+		r.ue.Barrier()
+		return nil
+	}
+	return r.ctx.Barrier()
+}
 
 // Allreduce sums n float64 values element-wise across all ranks,
 // leaving the full result at dst on every rank.
-func (r *Rank) Allreduce(src, dst Addr, n int) {
+func (r *Rank) Allreduce(src, dst Addr, n int) error {
 	if r.mpi != nil {
+		if err := checkN("Allreduce", n); err != nil {
+			return err
+		}
 		r.mpi.Allreduce(src, dst, n, func(a, b float64) float64 { return a + b })
-		return
+		return nil
 	}
-	r.ctx.Allreduce(src, dst, n, core.Sum)
+	return r.ctx.Allreduce(src, dst, n, core.Sum)
 }
 
 // AllreduceOp is Allreduce with a custom associative operator.
-func (r *Rank) AllreduceOp(src, dst Addr, n int, op func(a, b float64) float64) {
+func (r *Rank) AllreduceOp(src, dst Addr, n int, op func(a, b float64) float64) error {
 	if r.mpi != nil {
+		if err := checkN("AllreduceOp", n); err != nil {
+			return err
+		}
 		r.mpi.Allreduce(src, dst, n, op)
-		return
+		return nil
 	}
-	r.ctx.Allreduce(src, dst, n, core.Op(op))
+	return r.ctx.Allreduce(src, dst, n, core.Op(op))
 }
 
 // Reduce reduces to the root rank only.
-func (r *Rank) Reduce(root int, src, dst Addr, n int) {
+func (r *Rank) Reduce(root int, src, dst Addr, n int) error {
 	if r.mpi != nil {
+		if err := checkN("Reduce", n); err != nil {
+			return err
+		}
+		if err := r.checkRoot("Reduce", root); err != nil {
+			return err
+		}
 		r.mpi.Reduce(root, src, dst, n, func(a, b float64) float64 { return a + b })
-		return
+		return nil
 	}
-	r.ctx.Reduce(root, src, dst, n, core.Sum)
+	return r.ctx.Reduce(root, src, dst, n, core.Sum)
 }
 
 // Broadcast distributes n values at addr from root to every rank.
-func (r *Rank) Broadcast(root int, addr Addr, n int) {
+func (r *Rank) Broadcast(root int, addr Addr, n int) error {
 	if r.mpi != nil {
+		if err := checkN("Broadcast", n); err != nil {
+			return err
+		}
+		if err := r.checkRoot("Broadcast", root); err != nil {
+			return err
+		}
 		r.mpi.Bcast(root, addr, n)
-		return
+		return nil
 	}
-	r.ctx.Broadcast(root, addr, n)
+	return r.ctx.Broadcast(root, addr, n)
 }
 
 // Allgather concatenates each rank's nPer values into dst (N()*nPer,
 // rank-ordered) on every rank.
-func (r *Rank) Allgather(src Addr, nPer int, dst Addr) {
+func (r *Rank) Allgather(src Addr, nPer int, dst Addr) error {
 	if r.mpi != nil {
+		if err := checkN("Allgather", nPer); err != nil {
+			return err
+		}
 		r.mpi.Allgather(src, nPer, dst)
-		return
+		return nil
 	}
-	r.ctx.Allgather(src, nPer, dst)
+	return r.ctx.Allgather(src, nPer, dst)
 }
 
 // Alltoall exchanges nPer-value blocks between every pair of ranks.
-func (r *Rank) Alltoall(src, dst Addr, nPer int) {
+func (r *Rank) Alltoall(src, dst Addr, nPer int) error {
 	if r.mpi != nil {
+		if err := checkN("Alltoall", nPer); err != nil {
+			return err
+		}
 		r.mpi.Alltoall(src, dst, nPer)
-		return
+		return nil
 	}
-	r.ctx.Alltoall(src, dst, nPer)
+	return r.ctx.Alltoall(src, dst, nPer)
 }
 
 // ReduceScatter reduces element-wise and scatters blocks; dst receives
 // this rank's block of the partition.
-func (r *Rank) ReduceScatter(src, dst Addr, n int) {
+func (r *Rank) ReduceScatter(src, dst Addr, n int) error {
 	if r.mpi != nil {
+		if err := checkN("ReduceScatter", n); err != nil {
+			return err
+		}
 		r.mpi.ReduceScatter(src, dst, n, func(a, b float64) float64 { return a + b })
-		return
+		return nil
 	}
-	r.ctx.ReduceScatter(src, dst, n, core.Sum)
+	_, err := r.ctx.ReduceScatter(src, dst, n, core.Sum)
+	return err
 }
 
 // Scatter distributes block q of the root's src buffer (N()*nPer
 // values) to rank q's dst. src is only read on the root. (RCKMPI
 // implements scatter as a degenerate alltoall through its channel.)
-func (r *Rank) Scatter(root int, src Addr, nPer int, dst Addr) {
+func (r *Rank) Scatter(root int, src Addr, nPer int, dst Addr) error {
 	if r.mpi != nil {
+		if err := checkN("Scatter", nPer); err != nil {
+			return err
+		}
+		if err := r.checkRoot("Scatter", root); err != nil {
+			return err
+		}
 		if r.ID() == root {
 			for q := 0; q < r.N(); q++ {
 				if q == root {
@@ -286,18 +416,24 @@ func (r *Rank) Scatter(root int, src Addr, nPer int, dst Addr) {
 				}
 				r.mpi.Send(q, src+Addr(8*nPer*q), 8*nPer)
 			}
-			return
+			return nil
 		}
 		r.mpi.Recv(root, dst, 8*nPer)
-		return
+		return nil
 	}
-	r.ctx.Scatter(root, src, nPer, dst)
+	return r.ctx.Scatter(root, src, nPer, dst)
 }
 
 // Gather collects each rank's nPer values into the root's dst buffer,
 // rank-ordered. dst is only written on the root.
-func (r *Rank) Gather(root int, src Addr, nPer int, dst Addr) {
+func (r *Rank) Gather(root int, src Addr, nPer int, dst Addr) error {
 	if r.mpi != nil {
+		if err := checkN("Gather", nPer); err != nil {
+			return err
+		}
+		if err := r.checkRoot("Gather", root); err != nil {
+			return err
+		}
 		if r.ID() == root {
 			for q := 0; q < r.N(); q++ {
 				if q == root {
@@ -308,23 +444,27 @@ func (r *Rank) Gather(root int, src Addr, nPer int, dst Addr) {
 				}
 				r.mpi.Recv(q, dst+Addr(8*nPer*q), 8*nPer)
 			}
-			return
+			return nil
 		}
 		r.mpi.Send(root, src, 8*nPer)
-		return
+		return nil
 	}
-	r.ctx.Gather(root, src, nPer, dst)
+	return r.ctx.Gather(root, src, nPer, dst)
 }
 
 // Scan computes an inclusive prefix sum: rank k's dst receives the
 // element-wise sum of ranks 0..k. Only available on the RCCE-based
 // stacks (RCKMPI's scan is out of the comparator's scope).
-func (r *Rank) Scan(src, dst Addr, n int) {
+func (r *Rank) Scan(src, dst Addr, n int) error {
 	if r.mpi != nil {
-		panic("sccsim: Scan is not implemented by the RCKMPI comparator")
+		return fmt.Errorf("sccsim: Scan: %w: not implemented by the RCKMPI comparator", ErrInvalid)
 	}
-	r.ctx.Scan(src, dst, n, core.Sum)
+	return r.ctx.Scan(src, dst, n, core.Sum)
 }
+
+// Recovery reports this rank's accumulated hardened-protocol statistics
+// (all zero unless WithRecovery is active and faults occurred).
+func (r *Rank) Recovery() rcce.RecoveryStats { return r.ue.Recovery() }
 
 // SetFrequencyDivider changes this rank's core clock divider
 // (RCCE_power-style DVFS; the SCC derives tile clocks from a 1600 MHz
