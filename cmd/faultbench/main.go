@@ -31,6 +31,9 @@ func main() {
 	faultsFlag := flag.String("faults", "0,1,2,4,8,16", "comma-separated fault counts to sweep")
 	timeoutUs := flag.Int64("timeout", 300, "retransmit timeout in microseconds")
 	retries := flag.Int("retries", 8, "retransmit attempts before a peer is declared unreachable")
+	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -51,20 +54,40 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if *parallel < 0 {
+		fail("-parallel must be non-negative, got %d", *parallel)
+	}
+
+	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultbench:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "faultbench:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	model := timing.Default()
+	runner := bench.NewRunner(*parallel)
 	pol := rcce.Policy{Timeout: simtime.Microseconds(*timeoutUs), Backoff: 2, MaxRetries: *retries}
 	fmt.Printf("Fig. R1: hardened Allreduce, 48 cores, %d doubles, seed %d\n", *n, *seed)
 	fmt.Printf("(completion latency vs injected fault count; timeout %dus, %d retries)\n\n",
 		*timeoutUs, *retries)
 	for _, kind := range []core.TransportKind{core.TransportBlocking, core.TransportLightweight} {
-		points := bench.FaultSweep(model, kind, pol, *seed, *n, counts)
+		points := runner.FaultSweep(model, kind, pol, *seed, *n, counts)
 		if err := bench.WriteFaultTable(os.Stdout, "transport: "+kind.String(), points); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println()
 	}
+	exit(0)
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -9,6 +9,9 @@
 //	sccbench -op allreduce -csv fig9f.csv       # machine-readable output
 //	sccbench -summary                           # Sec. V-A speedup table
 //	sccbench -op allreduce -bugfixed            # hardware-bug ablation
+//	sccbench -parallel 1                        # force the serial sweep path
+//	sccbench -selfbench                         # host-throughput report -> BENCH_sim.json
+//	sccbench -op all -cpuprofile cpu.pprof      # profile the simulator itself
 package main
 
 import (
@@ -30,6 +33,11 @@ func main() {
 	plot := flag.Bool("plot", false, "render the panel as an ASCII chart instead of a table")
 	summary := flag.Bool("summary", false, "print the Sec. V-A per-collective speedup summary and exit")
 	bugfixed := flag.Bool("bugfixed", false, "simulate the chip with the local-MPB erratum fixed (Sec. IV-D ablation)")
+	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
+	selfbench := flag.Bool("selfbench", false, "measure the simulator's own host throughput and write the report")
+	benchout := flag.String("benchout", "BENCH_sim.json", "self-benchmark report path (with -selfbench)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -49,18 +57,68 @@ func main() {
 	if *reps < 1 {
 		fail("-reps must be at least 1, got %d", *reps)
 	}
+	if *parallel < 0 {
+		fail("-parallel must be non-negative, got %d", *parallel)
+	}
+
+	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sccbench:", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	model := timing.Default()
 	model.HardwareBugFixed = *bugfixed
+	runner := bench.NewRunner(*parallel)
+
+	if *selfbench {
+		results := bench.SelfBench(model, *parallel)
+		f, err := os.Create(*benchout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		if err := bench.WriteSelfBench(f, results); err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		f.Close()
+		for _, r := range results {
+			fmt.Printf("  %-20s %12.1f ns/op  %8.1f allocs/op  %10.1f ms", r.Name, r.NsPerOp, r.AllocsPerOp, r.WallMs)
+			if r.CellsPerSec > 0 {
+				fmt.Printf("  %6.2f cells/s (workers=%d)", r.CellsPerSec, r.Workers)
+			}
+			if r.SpeedupVsSerial > 0 {
+				fmt.Printf("  %.2fx vs serial", r.SpeedupVsSerial)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("wrote %s\n", *benchout)
+		exit(0)
+	}
 
 	if *summary {
 		sizes := bench.Sizes(*lo, *hi, max(*step, 25))
+		rows, err := runner.Summary(model, sizes, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
 		fmt.Printf("Per-collective average speedup over blocking RCCE/RCCE_comm (sizes %d..%d):\n", *lo, *hi)
 		fmt.Println("(paper, Sec. V-A: between ~1.6x for Alltoall and ~2.8x for Allgather)")
-		for _, row := range bench.Summary(model, sizes, *reps) {
+		for _, row := range rows {
 			fmt.Printf("  %-14s %5.2fx   (best: %s)\n", row.Op, row.Speedup, row.BestName)
 		}
-		return
+		exit(0)
 	}
 
 	ops := []bench.Op{bench.Op(*op)}
@@ -71,8 +129,9 @@ func main() {
 	}
 
 	sizes := bench.Sizes(*lo, *hi, *step)
-	for _, o := range ops {
-		panel := bench.Panel(model, o, sizes, *reps)
+	panels := runner.Panels(model, ops, sizes, *reps)
+	for i, o := range ops {
+		panel := panels[i]
 		title := fmt.Sprintf("Fig. 9 (%s): latency [us] vs vector size [doubles], 48 cores", o)
 		if *bugfixed {
 			title += " [hardware bug fixed]"
@@ -81,11 +140,11 @@ func main() {
 			f, err := os.Create(*csv)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 			if err := bench.WriteCSV(f, panel); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *csv)
@@ -94,14 +153,15 @@ func main() {
 		if *plot {
 			if err := bench.RenderChart(os.Stdout, title, panel, 100, 22); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				exit(1)
 			}
 		} else if err := bench.WriteTable(os.Stdout, title, panel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println()
 	}
+	exit(0)
 }
 
 func validOp(op bench.Op) bool {

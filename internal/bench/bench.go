@@ -240,11 +240,26 @@ func SpeedupVsBaseline(baseline, s Series) float64 {
 	return MeanLatency(baseline) / m
 }
 
+// checkAligned verifies that every series has the same number of points
+// as the first, so row-major rendering cannot index out of range.
+func checkAligned(series []Series) error {
+	for _, s := range series {
+		if len(s.Points) != len(series[0].Points) {
+			return fmt.Errorf("bench: ragged panel: series %q has %d points, %q has %d",
+				s.Stack.Name, len(s.Points), series[0].Stack.Name, len(series[0].Points))
+		}
+	}
+	return nil
+}
+
 // WriteCSV emits a panel as CSV: n, then one latency column (in
 // microseconds) per stack.
 func WriteCSV(w io.Writer, series []Series) error {
 	if len(series) == 0 {
 		return nil
+	}
+	if err := checkAligned(series); err != nil {
+		return err
 	}
 	headers := []string{"n"}
 	for _, s := range series {
@@ -267,8 +282,14 @@ func WriteCSV(w io.Writer, series []Series) error {
 
 // WriteTable renders a panel as an aligned text table.
 func WriteTable(w io.Writer, title string, series []Series) error {
+	if err := checkAligned(series); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
 		return err
+	}
+	if len(series) == 0 {
+		return nil
 	}
 	cols := []string{"n"}
 	for _, s := range series {
@@ -313,28 +334,49 @@ type SummaryRow struct {
 }
 
 // Summary computes the paper's closing table ("all collectives show
-// speedups between approximately 1.6x and 2.8x on average").
-func Summary(model *timing.Model, sizes []int, reps int) []SummaryRow {
-	var rows []SummaryRow
+// speedups between approximately 1.6x and 2.8x on average"). It returns
+// an error if any panel lacks the blocking baseline every speedup is
+// measured against.
+func Summary(model *timing.Model, sizes []int, reps int) ([]SummaryRow, error) {
+	panels := make([][]Series, 0, len(AllOps()))
 	for _, op := range AllOps() {
-		panel := Panel(model, op, sizes, reps)
-		var baseline Series
-		for _, s := range panel {
-			if s.Stack.Name == "blocking" {
-				baseline = s
+		panels = append(panels, Panel(model, op, sizes, reps))
+	}
+	return SummarizePanels(AllOps(), panels)
+}
+
+// SummarizePanels reduces already-measured panels (one per op, in op
+// order) to the Sec. V-A summary rows. Speedups are relative to each
+// panel's "blocking" series; a panel without that baseline is an error —
+// silently dividing against a zero-value series would emit speedup-0
+// rows that look like measurements.
+func SummarizePanels(ops []Op, panels [][]Series) ([]SummaryRow, error) {
+	if len(ops) != len(panels) {
+		return nil, fmt.Errorf("bench: %d ops but %d panels", len(ops), len(panels))
+	}
+	var rows []SummaryRow
+	for i, op := range ops {
+		panel := panels[i]
+		var baseline *Series
+		for j := range panel {
+			if panel[j].Stack.Name == "blocking" {
+				baseline = &panel[j]
 			}
+		}
+		if baseline == nil || len(baseline.Points) == 0 {
+			return nil, fmt.Errorf("bench: %s panel has no blocking baseline series to compare against", op)
 		}
 		best, bestName := 0.0, ""
 		for _, s := range panel {
 			if s.Stack.RCKMPI || s.Stack.Name == "blocking" || s.Stack.Cfg.MPBDirect {
 				continue
 			}
-			if sp := SpeedupVsBaseline(baseline, s); sp > best {
+			if sp := SpeedupVsBaseline(*baseline, s); sp > best {
 				best, bestName = sp, s.Stack.Name
 			}
 		}
 		rows = append(rows, SummaryRow{Op: op, Speedup: best, BestName: bestName})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Op < rows[j].Op })
-	return rows
+	return rows, nil
 }

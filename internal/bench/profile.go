@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile and/or arranges a heap profile for
+// the -cpuprofile/-memprofile flags of the bench commands. Either path
+// may be empty. The returned stop function finishes both profiles; call
+// it exactly once, before exiting.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("bench: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("bench: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("bench: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("bench: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"scc/internal/core"
+	"scc/internal/mesh"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// This file is the simulator's wall-clock self-benchmark: where the rest
+// of the package measures virtual time inside the simulation, SelfBench
+// measures how fast the simulator itself runs on the host. It feeds the
+// repo's perf trajectory (BENCH_sim.json) so throughput regressions are
+// visible across commits.
+
+// SelfBenchResult is one record of the self-benchmark report.
+type SelfBenchResult struct {
+	// Name identifies the measured path, e.g. "mesh.Transfer" or
+	// "panel.parallel".
+	Name string `json:"name"`
+	// Ops is how many operations the measured loop executed.
+	Ops int64 `json:"ops"`
+	// NsPerOp is host wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// WallMs is the total wall-clock time of the measured loop.
+	WallMs float64 `json:"wall_ms"`
+	// CellsPerSec is sweep throughput in panel cells (one (op, stack, n)
+	// simulation) per second; only set for panel records.
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	// Workers is the pool size used; only set for panel records.
+	Workers int `json:"workers,omitempty"`
+	// SpeedupVsSerial compares the parallel panel against the serial one
+	// from the same report; only set on the parallel record.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// measureLoop times fn, which must perform ops operations, and reports
+// wall clock and allocation counts around it.
+func measureLoop(name string, ops int64, fn func()) SelfBenchResult {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	fn()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return SelfBenchResult{
+		Name:        name,
+		Ops:         ops,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+	}
+}
+
+// SelfBench measures the simulator's host-side throughput at three
+// levels: the mesh-transfer micro path, the event loop, one full 48-core
+// Allreduce, and a reduced Fig. 9 panel swept serially and then with a
+// workers-wide pool. It returns one record per measurement.
+func SelfBench(model *timing.Model, workers int) []SelfBenchResult {
+	var out []SelfBenchResult
+
+	// Micro: the mesh hot path. Destinations cycle over the whole mesh so
+	// the walk lengths vary like real traffic.
+	const transfers = 2_000_000
+	net := mesh.New(model)
+	out = append(out, measureLoop("mesh.Transfer", transfers, func() {
+		var at simtime.Time
+		for i := 0; i < transfers; i++ {
+			at = net.Transfer(mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: i % model.MeshWidth, Y: (i / model.MeshWidth) % model.MeshHeight}, 256, at)
+		}
+	}))
+
+	// Micro: the event loop, 48 processes ping-ponging through the queue.
+	const sleepsPerProc = 10_000
+	eng := simtime.NewEngine()
+	for p := 0; p < 48; p++ {
+		eng.Spawn("bench", func(p *simtime.Proc) {
+			for i := 0; i < sleepsPerProc; i++ {
+				p.Sleep(3)
+			}
+		})
+	}
+	out = append(out, measureLoop("simtime.EventLoop", 48*sleepsPerProc, func() {
+		if err := eng.Run(); err != nil {
+			panic(fmt.Sprintf("selfbench event loop: %v", err))
+		}
+	}))
+
+	// Macro: one full 48-core Allreduce at the paper's application size.
+	lw := Stack{Name: "lightweight non-blocking", Cfg: core.ConfigLightweight}
+	out = append(out, measureLoop("chip.Allreduce48", 1, func() {
+		Measure(model, OpAllreduce, lw, 552, 1)
+	}))
+
+	// Macro: a reduced Fig. 9 Allreduce panel, serial then parallel. The
+	// parallel run must produce byte-identical series (the runner tests
+	// prove it), so the only difference is wall clock.
+	sizes := Sizes(500, 540, 8)
+	cells := int64(len(StacksFor(OpAllreduce)) * len(sizes))
+	serial := measureLoop("panel.serial", cells, func() {
+		Panel(model, OpAllreduce, sizes, 1)
+	})
+	serial.Workers = 1
+	serial.CellsPerSec = float64(cells) / (serial.WallMs / 1e3)
+	out = append(out, serial)
+
+	r := NewRunner(workers)
+	par := measureLoop("panel.parallel", cells, func() {
+		r.Panel(model, OpAllreduce, sizes, 1)
+	})
+	par.Workers = r.workers()
+	par.CellsPerSec = float64(cells) / (par.WallMs / 1e3)
+	par.SpeedupVsSerial = serial.WallMs / par.WallMs
+	out = append(out, par)
+
+	return out
+}
+
+// WriteSelfBench emits the report as an indented JSON array, the format
+// of the repo's BENCH_*.json perf-trajectory files.
+func WriteSelfBench(w io.Writer, results []SelfBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

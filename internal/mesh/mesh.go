@@ -32,23 +32,53 @@ func Hops(a, b Coord) int {
 // Route returns the XY route from a to b as the sequence of routers
 // visited, including both endpoints. X is routed first, then Y, matching
 // the SCC's dimension-ordered routing.
+//
+// Route allocates; the Transfer hot path walks the same route
+// incrementally (see nextHop) without materializing it.
 func Route(a, b Coord) []Coord {
 	route := []Coord{a}
 	cur := a
-	for cur.X != b.X {
-		cur.X += sign(b.X - cur.X)
-		route = append(route, cur)
-	}
-	for cur.Y != b.Y {
-		cur.Y += sign(b.Y - cur.Y)
+	for cur != b {
+		cur = nextHop(cur, b)
 		route = append(route, cur)
 	}
 	return route
 }
 
-// linkKey identifies a directed link between two adjacent routers.
-type linkKey struct {
-	from, to Coord
+// nextHop returns the router after cur on the XY route to dst. It must
+// only be called with cur != dst.
+func nextHop(cur, dst Coord) Coord {
+	if cur.X != dst.X {
+		cur.X += sign(dst.X - cur.X)
+		return cur
+	}
+	cur.Y += sign(dst.Y - cur.Y)
+	return cur
+}
+
+// Directed-link direction codes. Each router owns the four outgoing
+// links of its tile, so a directed link is (tile, direction).
+const (
+	dirEast  = 0 // X+1
+	dirWest  = 1 // X-1
+	dirSouth = 2 // Y+1
+	dirNorth = 3 // Y-1
+	numDirs  = 4
+)
+
+// linkIndex returns the dense index of the directed link from -> to,
+// where to must be a 4-neighbor of from.
+func (n *Network) linkIndex(from, to Coord) int {
+	dir := dirEast
+	switch {
+	case to.X == from.X-1:
+		dir = dirWest
+	case to.Y == from.Y+1:
+		dir = dirSouth
+	case to.Y == from.Y-1:
+		dir = dirNorth
+	}
+	return (from.Y*n.model.MeshWidth+from.X)*numDirs + dir
 }
 
 // Injector lets a fault model add delay to individual link traversals.
@@ -64,20 +94,27 @@ type Injector interface {
 // Network is the mesh fabric. It tracks per-link occupancy so that
 // overlapping transfers contend. Methods are not safe for concurrent use;
 // the simulation engine serializes all processes.
+//
+// Occupancy lives in a dense per-directed-link array (4 directions per
+// tile) rather than a map: Transfer is the simulator's hottest function
+// and the array keeps it allocation-free. An entry is only valid when its
+// epoch matches the network's, so Reset is O(1) — it just bumps the epoch.
 type Network struct {
 	model *timing.Model
 
-	busyUntil map[linkKey]simtime.Time
+	busyUntil []simtime.Time // indexed by linkIndex
+	busyEpoch []uint64       // busyUntil[i] valid iff busyEpoch[i] == epoch
+	epoch     uint64
 	inj       Injector
 
 	// Statistics.
-	transfers    int64
-	totalHops    int64
-	totalBytes   int64
-	contended    int64 // transfers that waited on at least one busy link
-	totalQueueed simtime.Duration
-	faultHits    int64
-	faultDelay   simtime.Duration
+	transfers   int64
+	totalHops   int64
+	totalBytes  int64
+	contended   int64 // transfers that waited on at least one busy link
+	totalQueued simtime.Duration
+	faultHits   int64
+	faultDelay  simtime.Duration
 }
 
 // SetInjector installs (or, with nil, removes) a fault injector.
@@ -85,9 +122,12 @@ func (n *Network) SetInjector(inj Injector) { n.inj = inj }
 
 // New creates a network using the model's geometry and link parameters.
 func New(model *timing.Model) *Network {
+	numLinks := model.MeshWidth * model.MeshHeight * numDirs
 	return &Network{
 		model:     model,
-		busyUntil: make(map[linkKey]simtime.Time),
+		busyUntil: make([]simtime.Time, numLinks),
+		busyEpoch: make([]uint64, numLinks),
+		epoch:     1, // zero-valued busyEpoch entries start out stale
 	}
 }
 
@@ -110,8 +150,7 @@ func (n *Network) Transfer(from, to Coord, nBytes int, start simtime.Time) simti
 	if from == to {
 		return start
 	}
-	route := Route(from, to)
-	n.totalHops += int64(len(route) - 1)
+	n.totalHops += int64(Hops(from, to))
 
 	// Serialization: cycles the packet body occupies one link.
 	serCycles := int64((nBytes + n.model.MeshLinkBytesPerCycle - 1) / n.model.MeshLinkBytesPerCycle)
@@ -121,24 +160,29 @@ func (n *Network) Transfer(from, to Coord, nBytes int, start simtime.Time) simti
 	ser := simtime.MeshCycles(serCycles)
 	hop := simtime.MeshCycles(n.model.MeshHopRoundTripMeshCycles / 2) // one-way per-hop latency
 
+	// Walk the XY route incrementally instead of materializing it: this
+	// loop runs once per hop of every transfer in the simulation.
 	headAt := start
 	contendedHere := false
-	for i := 0; i+1 < len(route); i++ {
-		lk := linkKey{route[i], route[i+1]}
+	for cur := from; cur != to; {
+		next := nextHop(cur, to)
+		li := n.linkIndex(cur, next)
 		headAt += hop
 		if n.inj != nil {
-			if d := n.inj.LinkDelay(lk.from, lk.to, headAt); d > 0 {
+			if d := n.inj.LinkDelay(cur, next, headAt); d > 0 {
 				headAt += d
 				n.faultHits++
 				n.faultDelay += d
 			}
 		}
-		if until, ok := n.busyUntil[lk]; ok && until > headAt {
-			n.totalQueueed += until - headAt
-			headAt = until
+		if n.busyEpoch[li] == n.epoch && n.busyUntil[li] > headAt {
+			n.totalQueued += n.busyUntil[li] - headAt
+			headAt = n.busyUntil[li]
 			contendedHere = true
 		}
-		n.busyUntil[lk] = headAt + ser
+		n.busyUntil[li] = headAt + ser
+		n.busyEpoch[li] = n.epoch
+		cur = next
 	}
 	if contendedHere {
 		n.contended++
@@ -166,17 +210,18 @@ func (n *Network) Stats() Stats {
 		TotalHops:  n.totalHops,
 		TotalBytes: n.totalBytes,
 		Contended:  n.contended,
-		Queued:     n.totalQueueed,
+		Queued:     n.totalQueued,
 		FaultHits:  n.faultHits,
 		FaultDelay: n.faultDelay,
 	}
 }
 
-// Reset clears link occupancy and statistics. The injector, if any,
-// stays installed.
+// Reset clears link occupancy and statistics in O(1): advancing the epoch
+// invalidates every busyUntil entry without touching the arrays. The
+// injector, if any, stays installed.
 func (n *Network) Reset() {
-	n.busyUntil = make(map[linkKey]simtime.Time)
-	n.transfers, n.totalHops, n.totalBytes, n.contended, n.totalQueueed = 0, 0, 0, 0, 0
+	n.epoch++
+	n.transfers, n.totalHops, n.totalBytes, n.contended, n.totalQueued = 0, 0, 0, 0, 0
 	n.faultHits, n.faultDelay = 0, 0
 }
 

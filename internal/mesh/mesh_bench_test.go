@@ -1,0 +1,44 @@
+package mesh
+
+import (
+	"testing"
+
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// BenchmarkTransfer measures the mesh hot path with destinations cycling
+// over the whole 6x4 grid (route lengths 0..8 hops, like real traffic).
+// The acceptance bar for the allocation-free XY walk is 0 allocs/op.
+func BenchmarkTransfer(b *testing.B) {
+	n := New(timing.Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var at simtime.Time
+	for i := 0; i < b.N; i++ {
+		at = n.Transfer(Coord{0, 0}, Coord{X: i % 6, Y: (i / 6) % 4}, 256, at)
+	}
+}
+
+// BenchmarkTransferContended drives all traffic over one shared link so
+// every transfer hits the occupancy/queueing branch.
+func BenchmarkTransferContended(b *testing.B) {
+	n := New(timing.Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Transfer(Coord{0, 0}, Coord{1, 0}, 256, 0)
+	}
+}
+
+// BenchmarkReset verifies the epoch-based reset stays O(1) rather than
+// reallocating the occupancy table.
+func BenchmarkReset(b *testing.B) {
+	n := New(timing.Default())
+	n.Transfer(Coord{0, 0}, Coord{5, 3}, 256, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Reset()
+	}
+}

@@ -1,7 +1,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,23 +25,70 @@ type event struct {
 	gen uint64
 }
 
-type eventHeap []event
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq). It is
+// hand-rolled rather than built on container/heap: the concrete element
+// type avoids the interface{} boxing allocation on every Push, and the
+// wider fan-out halves the tree depth, so the event loop — the
+// simulator's ultimate inner loop — touches fewer cache lines per
+// operation. (at, seq) is a total order because seq is unique, so the
+// pop sequence is identical to the old binary-heap implementation.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h eventQueue) Len() int { return len(h) }
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push inserts e, sifting it up toward the root.
+func (h *eventQueue) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+// pop removes and returns the minimum event. The queue must be non-empty.
+func (h *eventQueue) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !eventLess(q[min], q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event scheduler. Create one with
@@ -51,7 +97,7 @@ func (h *eventHeap) Pop() interface{} {
 // The zero value is not usable.
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	queue  eventQueue
 	seq    uint64
 	procs  []*Proc
 	live   int // processes that have not finished
@@ -98,7 +144,7 @@ func (e *Engine) schedule(p *Proc, at Time) {
 		panic(fmt.Sprintf("simtime: scheduling %q in the past (%d < %d)", p.name, at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, proc: p, gen: p.wakeGen})
+	e.queue.push(event{at: at, seq: e.seq, proc: p, gen: p.wakeGen})
 }
 
 // Run executes the simulation until every process has returned. It returns
@@ -126,7 +172,7 @@ func (e *Engine) Run() error {
 			e.shutdown()
 			return err
 		}
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		if ev.proc.done {
 			continue // stale wake-up for a finished process
 		}

@@ -1,0 +1,42 @@
+package simtime
+
+import "testing"
+
+// BenchmarkEventLoop measures the engine's schedule/pop/context-switch
+// cycle: 48 processes (one simulated chip's worth) each sleeping
+// repeatedly, so every iteration is one full trip through the event
+// queue plus one goroutine handoff.
+func BenchmarkEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	per := b.N/48 + 1
+	for p := 0; p < 48; p++ {
+		e.Spawn("bench", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				p.Sleep(3)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventQueue isolates the heap itself (no goroutine handoff):
+// push/pop cycles at a steady queue depth of 48, the simulator's
+// standing population.
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	var q eventQueue
+	for i := 0; i < 48; i++ {
+		q.push(event{at: Time(i % 7), seq: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.pop()
+		e.at += Time(i % 13)
+		e.seq = uint64(48 + i)
+		q.push(e)
+	}
+}

@@ -1,0 +1,89 @@
+package simtime
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the old container/heap-based implementation, kept here as
+// the executable specification: the 4-ary eventQueue must pop events in
+// exactly the same (time, seq) order.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestEventQueueMatchesContainerHeap drives the 4-ary heap and the
+// container/heap reference through identical random push/pop sequences
+// and requires identical pop orders. Timestamps collide on purpose (many
+// events share an instant in real simulations), so the seq tie-break is
+// exercised heavily.
+func TestEventQueueMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		var ref refHeap
+		var seq uint64
+		for step := 0; step < 2000; step++ {
+			if q.Len() == 0 || rng.Intn(3) != 0 {
+				seq++
+				e := event{at: Time(rng.Intn(50)), seq: seq}
+				q.push(e)
+				heap.Push(&ref, e)
+			} else {
+				got := q.pop()
+				want := heap.Pop(&ref).(event)
+				if got != want {
+					t.Fatalf("trial %d step %d: pop mismatch: got (at=%d seq=%d), want (at=%d seq=%d)",
+						trial, step, got.at, got.seq, want.at, want.seq)
+				}
+			}
+		}
+		// Drain: the remaining orders must agree too.
+		for q.Len() > 0 {
+			got := q.pop()
+			want := heap.Pop(&ref).(event)
+			if got != want {
+				t.Fatalf("trial %d drain: pop mismatch: got (at=%d seq=%d), want (at=%d seq=%d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference has %d leftover events", trial, ref.Len())
+		}
+	}
+}
+
+// TestEventQueueAscendingPops double-checks the heap invariant directly:
+// pops from a randomly filled queue never go backwards in (at, seq).
+func TestEventQueueAscendingPops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	for i := 0; i < 10_000; i++ {
+		q.push(event{at: Time(rng.Intn(1000)), seq: uint64(i + 1)})
+	}
+	prev := q.pop()
+	for q.Len() > 0 {
+		cur := q.pop()
+		if cur.at < prev.at || (cur.at == prev.at && cur.seq < prev.seq) {
+			t.Fatalf("pop order regressed: (at=%d seq=%d) after (at=%d seq=%d)",
+				cur.at, cur.seq, prev.at, prev.seq)
+		}
+		prev = cur
+	}
+}
