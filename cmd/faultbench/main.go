@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-plan seed (same seed: bit-identical output)")
 	n := flag.Int("n", 552, "vector size in doubles (552 is the paper's thermodynamic application)")
 	faultsFlag := flag.String("faults", "0,1,2,4,8,16", "comma-separated fault counts to sweep")
+	algo := flag.String("algo", "", "pin the Allreduce to this registry algorithm (default: paper heuristic)")
 	timeoutUs := flag.Int64("timeout", 300, "retransmit timeout in microseconds")
 	retries := flag.Int("retries", 8, "retransmit attempts before a peer is declared unreachable")
 	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
@@ -57,6 +58,15 @@ func main() {
 	if *parallel < 0 {
 		fail("-parallel must be non-negative, got %d", *parallel)
 	}
+	if *algo != "" {
+		if core.LookupAlgorithm(core.KindAllreduce, *algo) == nil {
+			fail("unknown allreduce algorithm %q (available: %s)",
+				*algo, strings.Join(core.AlgorithmNames(core.KindAllreduce), ", "))
+		}
+		if *algo == "mpb" {
+			fmt.Fprintln(os.Stderr, "faultbench: note: \"mpb\" is not applicable under the hardened protocol; the sweep falls back to the paper heuristic")
+		}
+	}
 
 	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -77,10 +87,13 @@ func main() {
 	runner := bench.NewRunner(*parallel)
 	pol := rcce.Policy{Timeout: simtime.Microseconds(*timeoutUs), Backoff: 2, MaxRetries: *retries}
 	fmt.Printf("Fig. R1: hardened Allreduce, 48 cores, %d doubles, seed %d\n", *n, *seed)
-	fmt.Printf("(completion latency vs injected fault count; timeout %dus, %d retries)\n\n",
-		*timeoutUs, *retries)
+	fmt.Printf("(completion latency vs injected fault count; timeout %dus, %d retries)\n", *timeoutUs, *retries)
+	if *algo != "" {
+		fmt.Printf("(allreduce algorithm pinned: %s)\n", *algo)
+	}
+	fmt.Println()
 	for _, kind := range []core.TransportKind{core.TransportBlocking, core.TransportLightweight} {
-		points := runner.FaultSweep(model, kind, pol, *seed, *n, counts)
+		points := runner.FaultSweepAlgo(model, kind, pol, *algo, *seed, *n, counts)
 		if err := bench.WriteFaultTable(os.Stdout, "transport: "+kind.String(), points); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exit(1)

@@ -10,16 +10,22 @@
 //	sccbench -summary                           # Sec. V-A speedup table
 //	sccbench -op allreduce -bugfixed            # hardware-bug ablation
 //	sccbench -parallel 1                        # force the serial sweep path
+//	sccbench -list-algos                        # registered collective algorithms
+//	sccbench -op allreduce -algo recdouble      # pin one registry algorithm
+//	sccbench -tune                              # tuner sweep -> decision table JSON
 //	sccbench -selfbench                         # host-throughput report -> BENCH_sim.json
 //	sccbench -op all -cpuprofile cpu.pprof      # profile the simulator itself
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"scc/internal/bench"
+	"scc/internal/core"
 	"scc/internal/timing"
 )
 
@@ -32,6 +38,10 @@ func main() {
 	csv := flag.String("csv", "", "write the panel as CSV to this file instead of a table")
 	plot := flag.Bool("plot", false, "render the panel as an ASCII chart instead of a table")
 	summary := flag.Bool("summary", false, "print the Sec. V-A per-collective speedup summary and exit")
+	algo := flag.String("algo", "", "pin every non-RCKMPI stack to this registry algorithm (allreduce/broadcast/reduce panels only)")
+	listAlgos := flag.Bool("list-algos", false, "list the registered collective algorithms and exit")
+	tune := flag.Bool("tune", false, "run the tuner sweep and write the winning decision table as JSON")
+	tuneout := flag.String("tuneout", "tuned_default.json", "decision-table output path (with -tune)")
 	bugfixed := flag.Bool("bugfixed", false, "simulate the chip with the local-MPB erratum fixed (Sec. IV-D ablation)")
 	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
 	selfbench := flag.Bool("selfbench", false, "measure the simulator's own host throughput and write the report")
@@ -59,6 +69,31 @@ func main() {
 	}
 	if *parallel < 0 {
 		fail("-parallel must be non-negative, got %d", *parallel)
+	}
+
+	if *listAlgos {
+		for _, k := range core.OpKinds() {
+			fmt.Printf("%s:\n", k)
+			for _, a := range core.AlgorithmsFor(k) {
+				fmt.Printf("  %-10s %s\n", a.Name(), a.Describe())
+			}
+		}
+		os.Exit(0)
+	}
+	if *algo != "" {
+		k, err := core.ParseOpKind(*op)
+		if err != nil {
+			var kinds []string
+			for _, kk := range core.OpKinds() {
+				kinds = append(kinds, kk.String())
+			}
+			fail("-algo applies to the registry-dispatched collectives (%s), not -op %q",
+				strings.Join(kinds, ", "), *op)
+		}
+		if core.LookupAlgorithm(k, *algo) == nil {
+			fail("unknown %s algorithm %q (available: %s)",
+				*op, *algo, strings.Join(core.AlgorithmNames(k), ", "))
+		}
 	}
 
 	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
@@ -106,6 +141,39 @@ func main() {
 		exit(0)
 	}
 
+	if *tune {
+		table, cells, err := bench.Tune(runner, model, bench.DefaultTuneSpec())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		fmt.Println("Tuner crossover table (winner per op / np / size bucket; latencies summed over bucket edges):")
+		for _, c := range cells {
+			bucket := "unbounded"
+			if c.MaxN != 0 {
+				bucket = fmt.Sprintf("n<=%d", c.MaxN)
+			}
+			fmt.Printf("  %-9s np=%-2d %-9s -> %-9s", c.Op, c.NP, bucket, c.Winner)
+			for _, name := range core.AlgorithmNames(c.Op) {
+				if lat, ok := c.Latency[name]; ok {
+					fmt.Printf("  %s=%.1fus", name, lat.Micros())
+				}
+			}
+			fmt.Println()
+		}
+		data, err := json.MarshalIndent(table, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		if err := os.WriteFile(*tuneout, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tuneout)
+		exit(0)
+	}
+
 	if *summary {
 		sizes := bench.Sizes(*lo, *hi, max(*step, 25))
 		rows, err := runner.Summary(model, sizes, *reps)
@@ -129,12 +197,15 @@ func main() {
 	}
 
 	sizes := bench.Sizes(*lo, *hi, *step)
-	panels := runner.Panels(model, ops, sizes, *reps)
+	panels := runner.PanelsAlgo(model, ops, *algo, sizes, *reps)
 	for i, o := range ops {
 		panel := panels[i]
 		title := fmt.Sprintf("Fig. 9 (%s): latency [us] vs vector size [doubles], 48 cores", o)
 		if *bugfixed {
 			title += " [hardware bug fixed]"
+		}
+		if *algo != "" {
+			title += fmt.Sprintf(" [algo=%s]", *algo)
 		}
 		if *csv != "" && len(ops) == 1 {
 			f, err := os.Create(*csv)

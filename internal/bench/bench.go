@@ -43,6 +43,19 @@ type Stack struct {
 	// Cfg is the collectives configuration; ignored when RCKMPI is set.
 	Cfg    core.Config
 	RCKMPI bool
+	// Algo, when non-empty, pins every collective to the named registry
+	// algorithm (core.Fixed) instead of the stack's selector. Ignored
+	// for RCKMPI.
+	Algo string
+}
+
+// Label is the legend/CSV column name: the stack name, suffixed with
+// the pinned algorithm when one is set.
+func (st Stack) Label() string {
+	if st.Algo == "" {
+		return st.Name
+	}
+	return st.Name + " [" + st.Algo + "]"
 }
 
 // StacksFor returns the legend entries of the Fig. 9 panel for op, in
@@ -65,6 +78,23 @@ func StacksFor(op Op) []Stack {
 			Stack{Name: "lightweight non-blocking, balanced", Cfg: core.ConfigBalanced},
 			Stack{Name: "MPB-based Allreduce", Cfg: core.ConfigMPB},
 		)
+	}
+	return s
+}
+
+// StacksForAlgo returns StacksFor(op) with every non-RCKMPI stack
+// pinned to the named registry algorithm ("" leaves the stacks' own
+// selectors in place, identical to StacksFor). Labels grow an
+// "[algo]" suffix so tables and CSVs stay self-describing.
+func StacksForAlgo(op Op, algo string) []Stack {
+	s := StacksFor(op)
+	if algo == "" {
+		return s
+	}
+	for i := range s {
+		if !s[i].RCKMPI {
+			s[i].Algo = algo
+		}
 	}
 	return s
 }
@@ -103,7 +133,11 @@ func runCollectiveProgram(c *scc.Core, comm *rcce.Comm, op Op, st Stack, n, reps
 	if st.RCKMPI {
 		mp = rckmpi.New(ue)
 	} else {
-		x = core.NewCtx(ue, st.Cfg)
+		cfg := st.Cfg
+		if st.Algo != "" {
+			cfg.Selector = core.Fixed(st.Algo)
+		}
+		x = core.NewCtx(ue, cfg)
 	}
 
 	// Buffers sized for the worst case (alltoall/allgather need p*n).
@@ -246,7 +280,7 @@ func checkAligned(series []Series) error {
 	for _, s := range series {
 		if len(s.Points) != len(series[0].Points) {
 			return fmt.Errorf("bench: ragged panel: series %q has %d points, %q has %d",
-				s.Stack.Name, len(s.Points), series[0].Stack.Name, len(series[0].Points))
+				s.Stack.Label(), len(s.Points), series[0].Stack.Label(), len(series[0].Points))
 		}
 	}
 	return nil
@@ -263,7 +297,7 @@ func WriteCSV(w io.Writer, series []Series) error {
 	}
 	headers := []string{"n"}
 	for _, s := range series {
-		headers = append(headers, s.Stack.Name)
+		headers = append(headers, s.Stack.Label())
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
 		return err
@@ -293,7 +327,7 @@ func WriteTable(w io.Writer, title string, series []Series) error {
 	}
 	cols := []string{"n"}
 	for _, s := range series {
-		cols = append(cols, s.Stack.Name)
+		cols = append(cols, s.Stack.Label())
 	}
 	widths := make([]int, len(cols))
 	for i, c := range cols {

@@ -31,8 +31,11 @@ type FaultPoint struct {
 
 // measureFaultedAllreduce runs one hardened 48-core Allreduce of n
 // doubles under the given plan (nil = fault-free) and reports completion
-// latency, aggregated recovery statistics and honest failure counts.
-func measureFaultedAllreduce(model *timing.Model, kind core.TransportKind, pol rcce.Policy, plan *fault.Plan, n int) FaultPoint {
+// latency, aggregated recovery statistics and honest failure counts. A
+// non-empty algo pins the registry algorithm (an algorithm that is
+// inapplicable under the hardened protocol, like "mpb", falls back to
+// the paper heuristic, as everywhere else).
+func measureFaultedAllreduce(model *timing.Model, kind core.TransportKind, pol rcce.Policy, algo string, plan *fault.Plan, n int) FaultPoint {
 	chip := scc.New(model)
 	fired := 0
 	if plan != nil {
@@ -40,6 +43,9 @@ func measureFaultedAllreduce(model *timing.Model, kind core.TransportKind, pol r
 	}
 	comm := rcce.NewComm(chip)
 	cfg := core.Config{Transport: kind, Balanced: true, Recovery: &pol}
+	if algo != "" {
+		cfg.Selector = core.Fixed(algo)
+	}
 	p := chip.NumCores()
 	want := make([]float64, n)
 	for id := 0; id < p; id++ {
@@ -92,7 +98,13 @@ func measureFaultedAllreduce(model *timing.Model, kind core.TransportKind, pol r
 // count derives its own deterministic sub-seed, so adding a count to the
 // sweep never perturbs the other points.
 func FaultSweep(model *timing.Model, kind core.TransportKind, pol rcce.Policy, seed int64, n int, counts []int) []FaultPoint {
-	base := measureFaultedAllreduce(model, kind, pol, nil, n)
+	return FaultSweepAlgo(model, kind, pol, "", seed, n, counts)
+}
+
+// FaultSweepAlgo is FaultSweep with the Allreduce algorithm pinned to a
+// registry name ("" = the paper heuristic, identical to FaultSweep).
+func FaultSweepAlgo(model *timing.Model, kind core.TransportKind, pol rcce.Policy, algo string, seed int64, n int, counts []int) []FaultPoint {
+	base := measureFaultedAllreduce(model, kind, pol, algo, nil, n)
 	horizon := base.Latency
 	out := make([]FaultPoint, 0, len(counts))
 	for _, count := range counts {
@@ -101,7 +113,7 @@ func FaultSweep(model *timing.Model, kind core.TransportKind, pol rcce.Policy, s
 			continue
 		}
 		plan := fault.Random(seed+int64(count)*7919, count, horizon, model)
-		pt := measureFaultedAllreduce(model, kind, pol, plan, n)
+		pt := measureFaultedAllreduce(model, kind, pol, algo, plan, n)
 		pt.Faults = count
 		out = append(out, pt)
 	}

@@ -97,7 +97,7 @@ func RenderChart(w io.Writer, title string, series []Series, width, height int) 
 	}
 	var legend []string
 	for si, s := range series {
-		legend = append(legend, fmt.Sprintf("%c=%s", plotMarks[si%len(plotMarks)], s.Stack.Name))
+		legend = append(legend, fmt.Sprintf("%c=%s", plotMarks[si%len(plotMarks)], s.Stack.Label()))
 	}
 	_, err := fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
 	return err

@@ -98,6 +98,12 @@ func (r *Runner) Panel(model *timing.Model, op Op, sizes []int, reps int) []Seri
 // workers. Results come back in (ops, legend, sizes) order, identical to
 // calling Panel serially per op.
 func (r *Runner) Panels(model *timing.Model, ops []Op, sizes []int, reps int) [][]Series {
+	return r.PanelsAlgo(model, ops, "", sizes, reps)
+}
+
+// PanelsAlgo is Panels over StacksForAlgo: every non-RCKMPI stack
+// pinned to the named registry algorithm ("" = identical to Panels).
+func (r *Runner) PanelsAlgo(model *timing.Model, ops []Op, algo string, sizes []int, reps int) [][]Series {
 	// Pre-size the result grid so workers write to disjoint slots.
 	out := make([][]Series, len(ops))
 	type cell struct {
@@ -108,7 +114,7 @@ func (r *Runner) Panels(model *timing.Model, ops []Op, sizes []int, reps int) []
 	}
 	var cells []cell
 	for pi, op := range ops {
-		stacks := StacksFor(op)
+		stacks := StacksForAlgo(op, algo)
 		out[pi] = make([]Series, len(stacks))
 		for si, st := range stacks {
 			out[pi][si] = Series{Stack: st, Points: make([]Point, len(sizes))}
@@ -135,7 +141,13 @@ func (r *Runner) Summary(model *timing.Model, sizes []int, reps int) ([]SummaryR
 // horizon), then the faulted counts fan out. Output is identical to
 // FaultSweep.
 func (r *Runner) FaultSweep(model *timing.Model, kind core.TransportKind, pol rcce.Policy, seed int64, n int, counts []int) []FaultPoint {
-	base := measureFaultedAllreduce(model, kind, pol, nil, n)
+	return r.FaultSweepAlgo(model, kind, pol, "", seed, n, counts)
+}
+
+// FaultSweepAlgo parallelizes FaultSweepAlgo: the fault sweep with the
+// Allreduce algorithm pinned to a registry name ("" = paper heuristic).
+func (r *Runner) FaultSweepAlgo(model *timing.Model, kind core.TransportKind, pol rcce.Policy, algo string, seed int64, n int, counts []int) []FaultPoint {
+	base := measureFaultedAllreduce(model, kind, pol, algo, nil, n)
 	horizon := base.Latency
 	out := make([]FaultPoint, len(counts))
 	r.runCells(len(counts), func(i int) {
@@ -145,7 +157,7 @@ func (r *Runner) FaultSweep(model *timing.Model, kind core.TransportKind, pol rc
 			return
 		}
 		plan := fault.Random(seed+int64(count)*7919, count, horizon, model)
-		pt := measureFaultedAllreduce(model, kind, pol, plan, n)
+		pt := measureFaultedAllreduce(model, kind, pol, algo, plan, n)
 		pt.Faults = count
 		out[i] = pt
 	})

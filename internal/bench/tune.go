@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"fmt"
+
+	"scc/internal/core"
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// This file is the tuner: the sweep that races every registered
+// algorithm per (op, np, message-size bucket) cell and emits the
+// winners as a core.DecisionTable (the Open MPI "tuned" approach).
+// `sccbench -tune` runs it and writes the JSON that internal/core
+// embeds as the default table.
+
+// TuneSpec parameterizes a tuner sweep.
+type TuneSpec struct {
+	// NPs are the communicator sizes to measure (cores 0..np-1 active,
+	// the rest of the chip idle). Must be ascending.
+	NPs []int
+	// Buckets are the message-size boundaries in elements: one table
+	// entry per bucket with MaxN = boundary, plus a trailing unbounded
+	// entry (MaxN = 0) when the last boundary is 0. Must be ascending
+	// with 0 (unbounded) last.
+	Buckets []int
+	// Reps is the timed repetition count per measurement.
+	Reps int
+	// Cfg is the point-to-point configuration every algorithm runs
+	// over. The tuner clears MPBDirect/Selector itself: the algorithm
+	// under test is pinned per cell.
+	Cfg core.Config
+	// Transport labels the table's provenance (DecisionTable.Transport).
+	Transport string
+}
+
+// DefaultTuneSpec is the sweep behind the committed default table:
+// the lightweight balanced transport, power-of-two communicator sizes
+// plus the full chip, and size buckets bracketing the paper's 512-byte
+// short-message threshold (64 float64 elements).
+func DefaultTuneSpec() TuneSpec {
+	return TuneSpec{
+		NPs:       []int{4, 8, 16, 32, 48},
+		Buckets:   []int{16, 64, 256, 1024, 0},
+		Reps:      3,
+		Cfg:       core.ConfigBalanced,
+		Transport: "lightweight non-blocking, balanced",
+	}
+}
+
+// validate rejects specs the sweep cannot interpret deterministically.
+func (sp TuneSpec) validate(numCores int) error {
+	if len(sp.NPs) == 0 || len(sp.Buckets) == 0 {
+		return fmt.Errorf("bench: tune spec needs at least one np and one bucket")
+	}
+	for i, np := range sp.NPs {
+		if np < 2 || np > numCores {
+			return fmt.Errorf("bench: tune spec np=%d outside [2,%d]", np, numCores)
+		}
+		if i > 0 && np <= sp.NPs[i-1] {
+			return fmt.Errorf("bench: tune spec nps must be ascending")
+		}
+	}
+	for i, b := range sp.Buckets {
+		if b == 0 {
+			if i != len(sp.Buckets)-1 {
+				return fmt.Errorf("bench: tune spec unbounded bucket (0) must be last")
+			}
+			continue
+		}
+		if b < 1 || (i > 0 && sp.Buckets[i-1] != 0 && b <= sp.Buckets[i-1]) {
+			return fmt.Errorf("bench: tune spec buckets must be ascending")
+		}
+	}
+	return nil
+}
+
+// bucketSizes returns the vector sizes that represent bucket i: its
+// lower and upper edge (buckets are half-open (prev, max]). The
+// unbounded bucket is represented by its lower edge and 4x the last
+// bounded boundary.
+func (sp TuneSpec) bucketSizes(i int) []int {
+	lo := 1
+	if i > 0 {
+		lo = sp.Buckets[i-1] + 1
+	}
+	hi := sp.Buckets[i]
+	if hi == 0 {
+		hi = 4 * sp.Buckets[i-1]
+		if hi < lo {
+			hi = 4 * lo
+		}
+	}
+	if lo == hi {
+		return []int{hi}
+	}
+	return []int{lo, hi}
+}
+
+// MeasureAlgorithm measures one registered algorithm for collective k
+// over an np-core communicator (cores 0..np-1; the rest of the chip
+// stays idle) and returns the average latency over reps timed
+// repetitions as seen by core 0. ok is false when the algorithm is not
+// applicable on that communicator (e.g. "mpb" on a proper subgroup),
+// in which case the latency is meaningless.
+func MeasureAlgorithm(model *timing.Model, cfg core.Config, k core.OpKind, algo string, np, n, reps int) (lat simtime.Duration, ok bool) {
+	a := core.LookupAlgorithm(k, algo)
+	if a == nil {
+		return 0, false
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	cfg.Selector = core.Fixed(algo)
+	chip := scc.New(model)
+	comm := rcce.NewComm(chip)
+	var grp *core.Group
+	if np < chip.NumCores() {
+		members := make([]int, np)
+		for i := range members {
+			members[i] = i
+		}
+		g, err := core.NewGroup(members, chip.NumCores())
+		if err != nil {
+			panic(fmt.Sprintf("bench: tune group: %v", err))
+		}
+		grp = g
+	}
+	perRep := make([]simtime.Duration, reps)
+	applicable := true
+	chip.Launch(func(c *scc.Core) {
+		if c.ID >= np {
+			return // idle spectator outside the communicator
+		}
+		ue := comm.UE(c.ID)
+		x, err := core.NewCtxGroup(ue, cfg, grp)
+		if err != nil {
+			panic(fmt.Sprintf("bench: tune ctx: %v", err))
+		}
+		// Applicability is uniform across members (it depends only on
+		// group/config), so every member takes the same early exit.
+		if !a.Applicable(x, n) {
+			if c.ID == 0 {
+				applicable = false
+			}
+			return
+		}
+		src := c.AllocF64(n)
+		dst := c.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(c.ID) + float64(i)*0.001
+		}
+		c.WriteF64s(src, v)
+		runOnce := func() {
+			var err error
+			switch k {
+			case core.KindAllreduce:
+				err = x.Allreduce(src, dst, n, core.Sum)
+			case core.KindBroadcast:
+				err = x.Broadcast(0, src, n)
+			case core.KindReduce:
+				err = x.Reduce(0, src, dst, n, core.Sum)
+			default:
+				panic("bench: tune: unknown op kind " + k.String())
+			}
+			if err != nil {
+				panic(fmt.Sprintf("bench: tune %s[%s] np=%d n=%d: %v", k, algo, np, n, err))
+			}
+		}
+		x.Barrier()
+		runOnce() // warm-up, as in Measure
+		for r := 0; r < reps; r++ {
+			x.Barrier()
+			t0 := c.Now()
+			runOnce()
+			if c.ID == 0 {
+				perRep[r] = c.Now() - t0
+			}
+		}
+	})
+	if err := chip.Run(); err != nil {
+		panic(fmt.Sprintf("bench: tune %s[%s] np=%d n=%d: %v", k, algo, np, n, err))
+	}
+	if !applicable {
+		return 0, false
+	}
+	var total simtime.Duration
+	for _, d := range perRep {
+		total += d
+	}
+	return total / simtime.Time(reps), true
+}
+
+// CellResult records one tuner cell: the measured latency of every
+// applicable algorithm (summed over the bucket's representative sizes)
+// and the winner.
+type CellResult struct {
+	Op      core.OpKind
+	NP      int
+	MaxN    int // 0 = unbounded
+	Winner  string
+	Latency map[string]simtime.Duration // total over representative sizes; applicable algorithms only
+}
+
+// Tune races every registered algorithm over the spec's cells on the
+// runner's worker pool and returns the winning decision table plus the
+// per-cell measurements behind it. Ties break toward registration
+// order, which puts the paper's algorithms ahead of the baselines.
+func Tune(r *Runner, model *timing.Model, sp TuneSpec) (*core.DecisionTable, []CellResult, error) {
+	if err := sp.validate(model.NumCores()); err != nil {
+		return nil, nil, err
+	}
+	cfg := sp.Cfg
+	cfg.MPBDirect = false // the algorithm is pinned per cell, not by flag
+	cfg.Selector = nil
+
+	type cellKey struct {
+		ki, npi, bi int
+	}
+	type job struct {
+		cellKey
+		k    core.OpKind
+		algo string
+		np   int
+		ns   []int
+	}
+	var jobs []job
+	for ki, k := range core.OpKinds() {
+		for npi, np := range sp.NPs {
+			for bi := range sp.Buckets {
+				for _, algo := range core.AlgorithmNames(k) {
+					jobs = append(jobs, job{
+						cellKey: cellKey{ki: ki, npi: npi, bi: bi},
+						k:       k, algo: algo, np: np, ns: sp.bucketSizes(bi),
+					})
+				}
+			}
+		}
+	}
+	type measurement struct {
+		lat simtime.Duration
+		ok  bool
+	}
+	results := make([]measurement, len(jobs))
+	r.runCells(len(jobs), func(i int) {
+		j := jobs[i]
+		var total simtime.Duration
+		for _, n := range j.ns {
+			lat, ok := MeasureAlgorithm(model, cfg, j.k, j.algo, j.np, n, sp.Reps)
+			if !ok {
+				results[i] = measurement{}
+				return
+			}
+			total += lat
+		}
+		results[i] = measurement{lat: total, ok: true}
+	})
+
+	// Reduce jobs to cells in deterministic (op, np, bucket) order;
+	// within a cell the jobs appear in registration order, so a strict
+	// less-than keeps the earlier registrant on ties.
+	byCell := make(map[cellKey]*CellResult)
+	var order []cellKey
+	for i, j := range jobs {
+		m := results[i]
+		cell, seen := byCell[j.cellKey]
+		if !seen {
+			cell = &CellResult{Op: j.k, NP: j.np, MaxN: sp.Buckets[j.bi], Latency: map[string]simtime.Duration{}}
+			byCell[j.cellKey] = cell
+			order = append(order, j.cellKey)
+		}
+		if !m.ok {
+			continue
+		}
+		cell.Latency[j.algo] = m.lat
+		if cell.Winner == "" || m.lat < cell.Latency[cell.Winner] {
+			cell.Winner = j.algo
+		}
+	}
+
+	table := &core.DecisionTable{Transport: sp.Transport}
+	var cells []CellResult
+	for _, key := range order {
+		cell := byCell[key]
+		cells = append(cells, *cell)
+		if cell.Winner == "" {
+			return nil, nil, fmt.Errorf("bench: tune: no applicable algorithm for %s np=%d max_n=%d",
+				cell.Op, cell.NP, cell.MaxN)
+		}
+		table.Entries = append(table.Entries, core.TableEntry{
+			Op: cell.Op.String(), NP: cell.NP, MaxN: cell.MaxN, Algorithm: cell.Winner,
+		})
+	}
+	if err := table.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return table, cells, nil
+}

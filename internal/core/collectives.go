@@ -50,6 +50,11 @@ type Config struct {
 	// when faults exceed the retry budget. The MPB-direct Allreduce is
 	// not hardened; it falls back to the staged path under Recovery.
 	Recovery *rcce.Policy
+	// Selector picks the algorithm per collective call (see
+	// selector.go). nil means PaperHeuristic, the pre-registry
+	// behavior; an unknown or inapplicable pick also falls back to the
+	// heuristic, so a Selector can never make a collective fail.
+	Selector Selector
 }
 
 // Name renders the configuration like the paper's figure legends.
@@ -286,128 +291,61 @@ func (x *Ctx) allgatherBlocks(dst scc.Addr, blocks []Block) error {
 }
 
 // Allreduce reduces p vectors of n elements element-wise and leaves the
-// full result at dst on every core: a ReduceScatter followed by an
-// Allgather (the RCCE_comm structure for long vectors), or the
-// MPB-direct variant when configured.
+// full result at dst on every core. The algorithm — ring
+// ReduceScatter+Allgather, binomial tree composition, recursive
+// doubling, or the MPB-direct variant — is picked per call by the
+// configured Selector (default: the paper's size heuristic).
 func (x *Ctx) Allreduce(src, dst scc.Addr, n int, op Op) error {
 	if err := checkCount("Allreduce", n); err != nil {
 		return err
 	}
-	p := x.np()
-	me := x.rank()
-	if p == 1 {
+	if x.np() == 1 {
 		x.copyPriv(dst, src, n)
 		return nil
 	}
-	if x.shortMessage(n) {
-		// Short-message variant: tree Reduce followed by tree Broadcast
-		// (RCCE_comm's size selection; 2*log2(p) levels beat 2*(p-1)
-		// ring rounds for tiny vectors).
-		if err := x.ReduceTree(x.member(0), src, dst, n, op); err != nil {
-			return err
-		}
-		return x.BroadcastTree(x.member(0), dst, n)
-	}
-	if x.cfg.MPBDirect && x.grp == nil && x.cfg.Recovery == nil {
-		return x.allreduceMPB(src, dst, n, op)
-	}
-	blocks := PartitionFor(n, p, x.cfg.Balanced)
-	// Reduce-scatter phase, with my block landing directly in dst.
-	x.ensureScratch(maxBlockLen(blocks))
-	if _, err := x.ReduceScatter(src, dst+scc.Addr(8*blocks[me].Off), n, op); err != nil {
-		return err
-	}
-	// Allgather phase over the same partition.
-	return x.allgatherBlocks(dst, blocks)
+	a := x.selectAlg(KindAllreduce, n).(AllreduceAlgorithm)
+	return x.traced(KindAllreduce, a, func() error {
+		return a.Allreduce(x, src, dst, n, op)
+	})
 }
 
-// Reduce reduces to a single root: a ReduceScatter followed by a gather
-// of every block to the root. dst is only meaningful on the root.
+// Reduce reduces to a single root. dst is only meaningful on the root.
+// The algorithm (ring ReduceScatter+gather, binomial tree, or the
+// linear baseline) is picked per call by the configured Selector.
 func (x *Ctx) Reduce(root int, src, dst scc.Addr, n int, op Op) error {
 	if err := checkCount("Reduce", n); err != nil {
 		return err
 	}
-	rootR, err := x.rootRank("Reduce", root)
-	if err != nil {
+	if _, err := x.rootRank("Reduce", root); err != nil {
 		return err
 	}
-	p := x.np()
-	me := x.rank()
-	if p == 1 {
+	if x.np() == 1 {
 		x.copyPriv(dst, src, n)
 		return nil
 	}
-	if x.shortMessage(n) {
-		// Short-message variant: binomial tree (RCCE_comm-style size
-		// selection; the ring's 47 handshake rounds cannot amortize).
-		return x.ReduceTree(root, src, dst, n, op)
-	}
-	blocks := PartitionFor(n, p, x.cfg.Balanced)
-	var blockDst scc.Addr
-	if me == rootR {
-		blockDst = dst + scc.Addr(8*blocks[me].Off)
-	} else {
-		x.ensureScratch(maxBlockLen(blocks))
-		blockDst = x.curAddr // reduced block staged in scratch
-	}
-	if _, err := x.ReduceScatter(src, blockDst, n, op); err != nil {
-		return err
-	}
-	// Gather phase: everyone ships its block to the root.
-	if me == rootR {
-		for q := 0; q < p; q++ {
-			if q == rootR || blocks[q].Len == 0 {
-				continue
-			}
-			if err := x.ep.Recv(x.member(q), dst+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if blocks[me].Len > 0 {
-		return x.ep.Send(root, blockDst, 8*blocks[me].Len)
-	}
-	return nil
+	a := x.selectAlg(KindReduce, n).(ReduceAlgorithm)
+	return x.traced(KindReduce, a, func() error {
+		return a.Reduce(x, root, src, dst, n, op)
+	})
 }
 
-// Broadcast distributes n elements at addr from root to every core using
-// the scatter + allgather structure RCCE_comm uses for long messages.
+// Broadcast distributes n elements at addr from root to every core. The
+// algorithm (scatter+allgather ring, binomial tree, or the linear
+// baseline) is picked per call by the configured Selector.
 func (x *Ctx) Broadcast(root int, addr scc.Addr, n int) error {
 	if err := checkCount("Broadcast", n); err != nil {
 		return err
 	}
-	rootR, err := x.rootRank("Broadcast", root)
-	if err != nil {
+	if _, err := x.rootRank("Broadcast", root); err != nil {
 		return err
 	}
-	p := x.np()
-	me := x.rank()
-	if p == 1 {
+	if x.np() == 1 {
 		return nil
 	}
-	if x.shortMessage(n) {
-		return x.BroadcastTree(root, addr, n)
-	}
-	blocks := PartitionFor(n, p, x.cfg.Balanced)
-	// Scatter phase: the root ships block q to rank q.
-	if me == rootR {
-		for q := 0; q < p; q++ {
-			if q == rootR || blocks[q].Len == 0 {
-				continue
-			}
-			if err := x.ep.Send(x.member(q), addr+scc.Addr(8*blocks[q].Off), 8*blocks[q].Len); err != nil {
-				return err
-			}
-		}
-	} else if blocks[me].Len > 0 {
-		if err := x.ep.Recv(root, addr+scc.Addr(8*blocks[me].Off), 8*blocks[me].Len); err != nil {
-			return err
-		}
-	}
-	// Allgather phase over the same partition reassembles the vector
-	// everywhere.
-	return x.allgatherBlocks(addr, blocks)
+	a := x.selectAlg(KindBroadcast, n).(BroadcastAlgorithm)
+	return x.traced(KindBroadcast, a, func() error {
+		return a.Broadcast(x, root, addr, n)
+	})
 }
 
 // Allgather concatenates each core's nPer-element contribution (at src)

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// The cross-algorithm equivalence property: every registered algorithm
+// for an op computes the same bits as a sequential reference on random
+// inputs, and is deterministic — two identical runs agree on both the
+// values and the chip's virtual completion time. Inputs are dyadic
+// rationals (multiples of 1/8), so float64 summation is exact in any
+// association order and "same bits" is a fair demand across ring, tree,
+// recursive-doubling and MPB schedules.
+
+// dyadicInputs generates one reproducible vector per core.
+func dyadicInputs(seed int64, cores, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, cores)
+	for c := range out {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = math.Round(rng.Float64()*64) / 8
+		}
+		out[c] = v
+	}
+	return out
+}
+
+// crossRun executes one pinned-algorithm collective and returns the
+// chip's final virtual time plus per-core results (root-only for
+// Reduce, all cores otherwise).
+func crossRun(t *testing.T, k OpKind, algo string, n int, root int, in [][]float64) (simtime.Time, [][]float64) {
+	t.Helper()
+	cfg := ConfigBalanced
+	cfg.Selector = Fixed(algo)
+	chip := scc.New(timing.Default())
+	comm := rcce.NewComm(chip)
+	results := make([][]float64, chip.NumCores())
+	chip.Launch(func(c *scc.Core) {
+		x := NewCtx(comm.UE(c.ID), cfg)
+		src := c.AllocF64(n)
+		dst := c.AllocF64(n)
+		c.WriteF64s(src, in[c.ID])
+		var err error
+		switch k {
+		case KindAllreduce:
+			err = x.Allreduce(src, dst, n, Sum)
+		case KindBroadcast:
+			err = x.Broadcast(root, src, n)
+			dst = src
+		case KindReduce:
+			err = x.Reduce(root, src, dst, n, Sum)
+		}
+		if err != nil {
+			t.Errorf("%s[%s] n=%d core %d: %v", k, algo, n, c.ID, err)
+			return
+		}
+		if k == KindReduce && c.ID != root {
+			return
+		}
+		got := make([]float64, n)
+		c.ReadF64s(dst, got)
+		results[c.ID] = got
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatalf("%s[%s] n=%d: %v", k, algo, n, err)
+	}
+	return chip.Now(), results
+}
+
+// reference computes the expected result sequentially.
+func reference(k OpKind, root, cores int, in [][]float64) [][]float64 {
+	n := len(in[0])
+	out := make([][]float64, cores)
+	switch k {
+	case KindAllreduce, KindReduce:
+		sum := make([]float64, n)
+		for _, v := range in {
+			for i := range v {
+				sum[i] += v[i]
+			}
+		}
+		if k == KindAllreduce {
+			for c := range out {
+				out[c] = sum
+			}
+		} else {
+			out[root] = sum
+		}
+	case KindBroadcast:
+		for c := range out {
+			out[c] = in[root]
+		}
+	}
+	return out
+}
+
+func TestCrossAlgorithmEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	const root = 7
+	for _, k := range OpKinds() {
+		for _, algo := range AlgorithmNames(k) {
+			for _, n := range []int{1, 13, 64, 200} {
+				in := dyadicInputs(int64(1000*int(k)+n), 48, n)
+				want := reference(k, root, 48, in)
+
+				now1, got1 := crossRun(t, k, algo, n, root, in)
+				now2, got2 := crossRun(t, k, algo, n, root, in)
+
+				if now1 != now2 {
+					t.Errorf("%s[%s] n=%d: nondeterministic virtual time %v vs %v", k, algo, n, now1, now2)
+				}
+				if !sameResults(got1, got2) {
+					t.Errorf("%s[%s] n=%d: nondeterministic results across identical runs", k, algo, n)
+				}
+				for c := range want {
+					if want[c] == nil {
+						continue
+					}
+					if got1[c] == nil {
+						t.Errorf("%s[%s] n=%d: core %d missing result", k, algo, n, c)
+						continue
+					}
+					for i := range want[c] {
+						if got1[c][i] != want[c][i] {
+							t.Errorf("%s[%s] n=%d: core %d elem %d = %v, want %v (bit-exact)",
+								k, algo, n, c, i, got1[c][i], want[c][i])
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -144,9 +144,12 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) error {
 	}
 	if maxBlockLen(blocks)*8 > ue.Comm().DataBytes()/2 {
 		// Blocks must fit a double-buffer half; fall back to the
-		// lightweight balanced path for oversized vectors.
+		// lightweight balanced path for oversized vectors. The fallback
+		// context runs the paper heuristic (Selector nil): a Fixed("mpb")
+		// selector must not re-enter this function.
 		cfg := x.cfg
 		cfg.MPBDirect = false
+		cfg.Selector = nil
 		fallback := &Ctx{ue: ue, ep: x.ep, cfg: cfg, scratchLen: -1}
 		return fallback.Allreduce(src, dst, n, op)
 	}

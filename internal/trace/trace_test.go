@@ -83,6 +83,54 @@ func TestWaitShare(t *testing.T) {
 	}
 }
 
+// TestWaitShareZeroDuration guards the degenerate timelines: a core
+// whose spans are all instantaneous has a zero-length busy interval,
+// and its share must come out 0 rather than NaN or a divide-by-zero
+// panic.
+func TestWaitShareZeroDuration(t *testing.T) {
+	var r Recorder
+	r.Record(0, "wait-flag", us(10), us(10)) // instantaneous wait
+	r.Record(0, "flag-set", us(10), us(10))
+	r.Record(1, "wait-flag", us(0), us(40)) // a normal core alongside
+	r.Record(1, "put", us(40), us(80))
+	share := WaitShare(r.Spans())
+	if s := share[0]; s != 0 {
+		t.Errorf("zero-duration core share = %v, want exactly 0", s)
+	}
+	if s := share[0]; s != s { // NaN check
+		t.Errorf("zero-duration core share is NaN")
+	}
+	if s := share[1]; s < 0.49 || s > 0.51 {
+		t.Errorf("normal core share = %v, want 0.5", s)
+	}
+	// No spans at all: empty map, no panic.
+	if got := WaitShare(nil); len(got) != 0 {
+		t.Errorf("WaitShare(nil) = %v, want empty", got)
+	}
+}
+
+// TestRenderGolden pins the exact rendering byte for byte, so timeline
+// output (the cmd/timeline deliverable) cannot drift silently.
+func TestRenderGolden(t *testing.T) {
+	var r Recorder
+	r.Record(0, "send", us(0), us(40))
+	r.Record(0, "wait-flag", us(40), us(80))
+	r.Record(1, "recv", us(20), us(60))
+	r.Record(1, "compute", us(60), us(100))
+	var sb strings.Builder
+	if err := Render(&sb, r.Spans(), 20); err != nil {
+		t.Fatal(err)
+	}
+	const want = "core  0 |SSSSSSSS.........   |\n" +
+		"core  1 |    RRRRRRRRCCCCCCCC|\n" +
+		"         t=0ns     t=100.00us\n" +
+		"  legend: S=send R=recv P=put(copy to MPB) G=get(copy from MPB) C=compute .=waiting f=flag\n" +
+		"  span: 0ns .. 100.00us (100.00us)\n"
+	if got := sb.String(); got != want {
+		t.Errorf("Render drifted.\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
 func TestSymbols(t *testing.T) {
 	cases := map[string]byte{
 		"wait-flag": '.',

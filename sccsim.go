@@ -138,12 +138,44 @@ func (s Stack) coreConfig() core.Config {
 	}
 }
 
+// Selector is the per-call algorithm-selection policy of the registry
+// layer; install one with WithSelector. Build them with Fixed,
+// PaperHeuristic or Tuned.
+type Selector = core.Selector
+
+// Fixed returns a selector that always picks the named registry
+// algorithm; collectives for which the name is not registered or not
+// applicable fall back to the paper heuristic.
+func Fixed(name string) Selector { return core.Fixed(name) }
+
+// PaperHeuristic returns the paper's selection policy (the default):
+// binomial trees below the 512-byte short-message threshold, the
+// MPB-direct ring where StackMPB applies, the block-partitioned ring
+// otherwise.
+func PaperHeuristic() Selector { return core.PaperHeuristic() }
+
+// Tuned returns the measured decision-table selector backed by the
+// committed tuner output (regenerate with `sccbench -tune`).
+func Tuned() Selector { return core.Tuned() }
+
+// AlgorithmNames lists the registered algorithms for op ("allreduce",
+// "broadcast" or "reduce"), in registration order. Unknown ops return
+// nil.
+func AlgorithmNames(op string) []string {
+	k, err := core.ParseOpKind(op)
+	if err != nil {
+		return nil
+	}
+	return core.AlgorithmNames(k)
+}
+
 // config collects construction options.
 type config struct {
 	model    *timing.Model
 	stack    Stack
 	faults   *fault.Plan
 	recovery *rcce.Policy
+	selector core.Selector
 }
 
 // Option customizes a System.
@@ -174,6 +206,24 @@ func WithHardwareBugFixed() Option {
 // perturb the hardware model exactly as seeded, so runs stay
 // reproducible tick for tick.
 func WithFaults(p *FaultPlan) Option { return func(c *config) { c.faults = p } }
+
+// WithAlgorithm pins every Allreduce, Broadcast and Reduce to the named
+// registry algorithm ("ring", "tree", "recdouble", "mpb", "linear"; see
+// AlgorithmNames). An algorithm that is not registered or not
+// applicable for a call falls back to the paper heuristic, so a typo
+// degrades performance, never correctness. Shorthand for
+// WithSelector(Fixed(name)).
+func WithAlgorithm(name string) Option { return WithSelector(Fixed(name)) }
+
+// WithSelector installs an algorithm-selection policy for the
+// registry-dispatched collectives (default PaperHeuristic). It has no
+// effect on StackRCKMPI, which bypasses the registry entirely.
+func WithSelector(sel Selector) Option { return func(c *config) { c.selector = sel } }
+
+// WithTuned selects algorithms from the committed tuner-measured
+// decision table instead of the paper heuristic. Shorthand for
+// WithSelector(Tuned()).
+func WithTuned() Option { return WithSelector(Tuned()) }
 
 // WithRecovery runs the selected stack over the hardened protocol
 // (sequence numbers, checksums, bounded waits, retransmit with backoff):
@@ -245,6 +295,7 @@ func (s *System) newRank(c *scc.Core) *Rank {
 	} else {
 		cfg := s.cfg.stack.coreConfig()
 		cfg.Recovery = s.cfg.recovery
+		cfg.Selector = s.cfg.selector
 		r.ctx = core.NewCtx(r.ue, cfg)
 	}
 	return r

@@ -1,0 +1,49 @@
+package sccsim
+
+import (
+	"testing"
+
+	"scc/internal/core"
+)
+
+// TestStacksMatchCoreConfigs is the drift guard between the façade's
+// Stack enumeration and the core package's config list: every non-RCKMPI
+// stack, in Stacks() order, must map onto core.Configs() in the same
+// order. A stack added to one side without the other — or a reordering —
+// fails here instead of silently skewing benchmarks that zip the two
+// lists together.
+func TestStacksMatchCoreConfigs(t *testing.T) {
+	var mapped []core.Config
+	var names []string
+	for _, s := range Stacks() {
+		if s == StackRCKMPI {
+			continue
+		}
+		mapped = append(mapped, s.coreConfig())
+		names = append(names, s.String())
+	}
+	configs := core.Configs()
+	if len(mapped) != len(configs) {
+		t.Fatalf("Stacks() maps to %d core configs, core.Configs() has %d", len(mapped), len(configs))
+	}
+	for i := range mapped {
+		if mapped[i] != configs[i] {
+			t.Errorf("order drift at %d: stack %q maps to %q, core.Configs()[%d] is %q",
+				i, names[i], mapped[i].Name(), i, configs[i].Name())
+		}
+	}
+}
+
+// TestStackNamesMatchConfigNames: the façade legend strings and the
+// core config names must agree for the shared stacks, because bench
+// output keys series by these names.
+func TestStackNamesMatchConfigNames(t *testing.T) {
+	for _, s := range Stacks() {
+		if s == StackRCKMPI {
+			continue
+		}
+		if got, want := s.String(), s.coreConfig().Name(); got != want {
+			t.Errorf("stack %d: façade name %q != core config name %q", int(s), got, want)
+		}
+	}
+}
