@@ -15,6 +15,9 @@
 //	sccbench -tune                              # tuner sweep -> decision table JSON
 //	sccbench -selfbench                         # host-throughput report -> BENCH_sim.json
 //	sccbench -op all -cpuprofile cpu.pprof      # profile the simulator itself
+//	sccbench -op allreduce -metrics             # instrumented run -> counter table
+//	sccbench -op allreduce -metrics -metricsout m.json -tracejson t.json
+//	                                            # JSON snapshot + Perfetto timeline
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"scc/internal/bench"
 	"scc/internal/core"
 	"scc/internal/timing"
+	"scc/internal/trace"
 )
 
 func main() {
@@ -48,6 +52,10 @@ func main() {
 	benchout := flag.String("benchout", "BENCH_sim.json", "self-benchmark report path (with -selfbench)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	metricsOn := flag.Bool("metrics", false, "run one instrumented measurement (op at -lo doubles) and report its metrics")
+	metricsout := flag.String("metricsout", "", "metrics snapshot path; .json or .csv by extension, default: text table on stdout (implies -metrics)")
+	tracejson := flag.String("tracejson", "", "write the instrumented run's timeline as Chrome Trace Event JSON, loadable in Perfetto (implies -metrics)")
+	stack := flag.String("stack", "balanced", "stack for the instrumented run: rckmpi, blocking, ircce, lwnb, balanced, or mpb")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -114,6 +122,35 @@ func main() {
 	model := timing.Default()
 	model.HardwareBugFixed = *bugfixed
 	runner := bench.NewRunner(*parallel)
+
+	if *metricsOn || *metricsout != "" || *tracejson != "" {
+		o := bench.Op(*op)
+		if !validOp(o) {
+			fail("-metrics needs a single concrete -op, got %q", *op)
+		}
+		st, ok := stackByName(*stack)
+		if !ok {
+			fail("unknown -stack %q (rckmpi, blocking, ircce, lwnb, balanced, mpb)", *stack)
+		}
+		if *algo != "" && !st.RCKMPI {
+			st.Algo = *algo
+		}
+		run := bench.MeasureInstrumented(model, o, st, *lo, *reps)
+		fmt.Printf("instrumented run: op=%s stack=%q n=%d reps=%d  avg latency %.1fus\n",
+			o, st.Label(), *lo, *reps, run.Latency.Micros())
+		if err := writeMetricsSnapshot(run, *metricsout); err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		if *tracejson != "" {
+			if err := writeTraceJSON(run, o, st, *lo, *tracejson); err != nil {
+				fmt.Fprintln(os.Stderr, "sccbench:", err)
+				exit(1)
+			}
+			fmt.Printf("wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *tracejson)
+		}
+		exit(0)
+	}
 
 	if *selfbench {
 		results := bench.SelfBench(model, *parallel)
@@ -233,6 +270,69 @@ func main() {
 		fmt.Println()
 	}
 	exit(0)
+}
+
+// stackByName maps the -stack flag's short names to bench stacks.
+func stackByName(name string) (bench.Stack, bool) {
+	switch name {
+	case "rckmpi":
+		return bench.Stack{Name: "RCKMPI", RCKMPI: true}, true
+	case "blocking":
+		return bench.Stack{Name: "blocking", Cfg: core.ConfigBlocking}, true
+	case "ircce":
+		return bench.Stack{Name: "iRCCE", Cfg: core.ConfigIRCCE}, true
+	case "lwnb":
+		return bench.Stack{Name: "lightweight non-blocking", Cfg: core.ConfigLightweight}, true
+	case "balanced":
+		return bench.Stack{Name: "lightweight non-blocking, balanced", Cfg: core.ConfigBalanced}, true
+	case "mpb":
+		return bench.Stack{Name: "MPB-based Allreduce", Cfg: core.ConfigMPB}, true
+	default:
+		return bench.Stack{}, false
+	}
+}
+
+// writeMetricsSnapshot renders the snapshot as a table on stdout, or as
+// JSON/CSV when a -metricsout path is given (format by extension).
+func writeMetricsSnapshot(run bench.InstrumentedRun, path string) error {
+	if path == "" {
+		return run.Metrics.WriteTable(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		err = run.Metrics.WriteCSV(f)
+	case strings.HasSuffix(path, ".json"):
+		err = run.Metrics.WriteJSON(f)
+	default:
+		err = run.Metrics.WriteTable(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeTraceJSON emits the instrumented run's spans as a Chrome trace;
+// the metrics snapshot rides along under otherData so one file carries
+// both the timeline and the counters.
+func writeTraceJSON(run bench.InstrumentedRun, op bench.Op, st bench.Stack, n int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteChromeTrace(f, run.Spans, map[string]any{
+		"op":      string(op),
+		"stack":   st.Label(),
+		"n":       n,
+		"metrics": run.Metrics,
+	})
 }
 
 func validOp(op bench.Op) bool {

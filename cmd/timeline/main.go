@@ -17,6 +17,7 @@ import (
 	"scc/internal/core"
 	"scc/internal/rcce"
 	"scc/internal/scc"
+	"scc/internal/simtime"
 	"scc/internal/timing"
 	"scc/internal/trace"
 )
@@ -26,11 +27,30 @@ func main() {
 	nElems := flag.Int("n", 64, "doubles exchanged per round")
 	width := flag.Int("width", 100, "timeline width in characters")
 	cores := flag.Int("cores", 4, "how many cores' rows to record (ring still spans all 48)")
+	chrome := flag.String("chrome", "", "also write the recorded spans as Chrome Trace Event JSON to this file (both schemes back to back, loadable in Perfetto)")
 	flag.Parse()
 
+	// Both schemes run on fresh chips starting at virtual t=0, so for the
+	// combined Chrome trace the second scheme is shifted past the end of
+	// the first: one timeline, blocking then non-blocking, same threads.
+	var chromeSpans []trace.Span
+	var chromeOffset simtime.Time
 	for _, kind := range []core.TransportKind{core.TransportBlocking, core.TransportLightweight} {
 		fmt.Printf("=== %s ring exchange (%d rounds of %d doubles) ===\n", kind, *rounds, *nElems)
 		rec := runRing(kind, *rounds, *nElems, *cores)
+		if *chrome != "" {
+			var maxEnd simtime.Time
+			for _, s := range rec.Spans() {
+				s.Label = fmt.Sprintf("%s [%s]", s.Label, kind)
+				s.Start += chromeOffset
+				s.End += chromeOffset
+				chromeSpans = append(chromeSpans, s)
+				if s.End > maxEnd {
+					maxEnd = s.End
+				}
+			}
+			chromeOffset = maxEnd + simtime.Microseconds(5)
+		}
 		if err := trace.Render(os.Stdout, rec.Spans(), *width); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -45,6 +65,25 @@ func main() {
 	fmt.Println("Compare with the paper's Fig. 4 (blocking odd-even: the second operation")
 	fmt.Println("cannot start until all cores finished the first) and Fig. 5 (non-blocking:")
 	fmt.Println("isend and irecv posted together, copies overlap, one sync per round).")
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := trace.WriteChromeTrace(f, chromeSpans, map[string]any{
+			"rounds": *rounds, "n": *nElems,
+			"note": "blocking ring exchange first, then the lightweight non-blocking one, separated by a 5us gap",
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *chrome)
+	}
 }
 
 // runRing executes the ring rounds and returns the recorded spans of the

@@ -21,13 +21,26 @@
 // without load-balanced block partitioning), the MPB-direct Allreduce,
 // and the RCKMPI comparator.
 //
+// A run can be instrumented without changing its virtual-time result:
+// construct the system with WithMetrics and execute programs with
+// RunResult, then read the frozen counter snapshot off Result.Metrics
+// (per-core phase split, MPB and cache traffic, per-link utilization,
+// wait/hop histograms, per-collective breakdowns). The sccbench tool
+// exposes the same data from the command line (-metrics, -metricsout)
+// and can emit a Chrome Trace Event JSON (-tracejson) that loads
+// directly into Perfetto; see the "Inspecting a run" section of the
+// README.
+//
 // The heavy lifting lives in the internal packages: internal/simtime
 // (deterministic discrete-event engine), internal/mesh (2D mesh NoC),
 // internal/scc (cores, caches, message-passing buffers), internal/rcce,
 // internal/ircce, internal/lwnb (the three point-to-point libraries),
 // internal/core (the paper's optimized collectives), internal/rckmpi
-// (the MPI comparator), internal/gcmc (the thermodynamic application)
-// and internal/bench (the harness that regenerates every figure).
+// (the MPI comparator), internal/gcmc (the thermodynamic application),
+// internal/metrics (the zero-allocation counter registry behind
+// WithMetrics), internal/trace (span recording and the Chrome-trace
+// exporter) and internal/bench (the harness that regenerates every
+// figure).
 // DESIGN.md maps each to the paper; EXPERIMENTS.md records the
 // reproduction outcomes.
 package sccsim

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+
+	"scc/internal/metrics"
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+	"scc/internal/trace"
+)
+
+// InstrumentedRun is one fully observed benchmark cell: the same average
+// latency Measure reports, plus the metrics snapshot and the span
+// timeline of the whole run (warm-up and barriers included).
+type InstrumentedRun struct {
+	Latency simtime.Duration
+	Metrics *metrics.Snapshot
+	Spans   []trace.Span
+}
+
+// MeasureInstrumented is Measure with observability attached: the fresh
+// chip gets a metrics registry and every core a span recorder. The
+// virtual-time result is identical to Measure's for the same arguments -
+// the hooks only read state and apply already-deferred local latency
+// early - which the determinism test in instrument_test.go pins down.
+func MeasureInstrumented(model *timing.Model, op Op, st Stack, n, reps int) InstrumentedRun {
+	if reps < 1 {
+		reps = 1
+	}
+	chip := scc.New(model)
+	reg := metrics.New(chip.NumCores())
+	chip.SetMetrics(reg)
+	comm := rcce.NewComm(chip)
+	rec := &trace.Recorder{}
+	perRep := make([]simtime.Duration, reps)
+	chip.Launch(func(c *scc.Core) {
+		c.SetSpanRecorder(rec.Hook(c.ID))
+		runCollectiveProgram(c, comm, op, st, n, reps, perRep)
+	})
+	if err := chip.Run(); err != nil {
+		panic(fmt.Sprintf("bench: %s/%s n=%d: %v", op, st.Name, n, err))
+	}
+	var total simtime.Duration
+	for _, d := range perRep {
+		total += d
+	}
+	return InstrumentedRun{
+		Latency: total / simtime.Time(reps),
+		Metrics: reg.Snapshot(),
+		Spans:   rec.Spans(),
+	}
+}

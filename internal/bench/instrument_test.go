@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scc/internal/simtime"
+	"scc/internal/timing"
+	"scc/internal/trace"
+)
+
+// instrumentCells are the (op, stack) pairs the determinism tests sweep:
+// one per transport family, covering the blocking handshake, both
+// non-blocking engines, the balanced partitioning and the MPB fast path.
+func instrumentCells() []struct {
+	op Op
+	st Stack
+} {
+	return []struct {
+		op Op
+		st Stack
+	}{
+		{OpAllreduce, StacksFor(OpAllreduce)[1]},         // blocking
+		{OpAllreduce, StacksFor(OpAllreduce)[3]},         // lightweight non-blocking
+		{OpAllreduce, StacksFor(OpAllreduce)[5]},         // MPB-based
+		{OpBroadcast, StacksFor(OpBroadcast)[2]},         // iRCCE
+		{OpAllgather, StacksFor(OpAllgather)[0]},         // RCKMPI
+		{OpReduceScatter, StacksFor(OpReduceScatter)[4]}, // balanced
+	}
+}
+
+// TestMetricsDoNotPerturbMeasure is the PR's central invariant: an
+// instrumented run (metrics registry + span recorders on every core)
+// reports exactly the virtual-time latency of the plain run. The hooks
+// only read simulator state; the extra Now() calls merely apply
+// already-deferred local latency early, which never moves a shared
+// interaction.
+func TestMetricsDoNotPerturbMeasure(t *testing.T) {
+	model := timing.Default()
+	for _, cell := range instrumentCells() {
+		plain := Measure(model, cell.op, cell.st, 96, 2)
+		inst := MeasureInstrumented(model, cell.op, cell.st, 96, 2)
+		if inst.Latency != plain {
+			t.Errorf("%s/%s: instrumented latency %v != plain %v",
+				cell.op, cell.st.Label(), inst.Latency, plain)
+		}
+		if inst.Metrics == nil || len(inst.Metrics.Cores) == 0 {
+			t.Errorf("%s/%s: empty metrics snapshot", cell.op, cell.st.Label())
+		}
+		if len(inst.Spans) == 0 {
+			t.Errorf("%s/%s: no spans recorded", cell.op, cell.st.Label())
+		}
+	}
+}
+
+// TestInstrumentedRunReproducible runs the same instrumented cell twice
+// and demands identical latency, an identical serialized snapshot, and
+// an identical span list — the reproducibility that makes snapshots
+// diffable across code changes.
+func TestInstrumentedRunReproducible(t *testing.T) {
+	model := timing.Default()
+	a := MeasureInstrumented(model, OpAllreduce, StacksFor(OpAllreduce)[3], 128, 1)
+	b := MeasureInstrumented(model, OpAllreduce, StacksFor(OpAllreduce)[3], 128, 1)
+	if a.Latency != b.Latency {
+		t.Fatalf("latencies differ: %v vs %v", a.Latency, b.Latency)
+	}
+	var ja, jb bytes.Buffer
+	if err := a.Metrics.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Metrics.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Error("metrics snapshots differ between identical runs")
+	}
+	if len(a.Spans) != len(b.Spans) {
+		t.Fatalf("span counts differ: %d vs %d", len(a.Spans), len(b.Spans))
+	}
+	for i := range a.Spans {
+		if a.Spans[i] != b.Spans[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a.Spans[i], b.Spans[i])
+		}
+	}
+}
+
+// TestWaitSpansMatchFlagWaitPhase cross-checks the two observability
+// channels against each other: for every core, the summed duration of
+// its "wait-*" trace spans must equal the flag-wait phase ticks in the
+// metrics snapshot exactly — both record the same blocked intervals at
+// the same boundaries. trace.WaitShare, which divides that same wait
+// time by the core's busy extent, must agree with the ratio recomputed
+// from the snapshot to within float rounding.
+func TestWaitSpansMatchFlagWaitPhase(t *testing.T) {
+	model := timing.Default()
+	run := MeasureInstrumented(model, OpAllreduce, StacksFor(OpAllreduce)[1], 96, 1)
+
+	waitByCore := map[int]simtime.Duration{}
+	extent := map[int][2]simtime.Time{}
+	for _, s := range run.Spans {
+		if strings.HasPrefix(s.Label, "wait") {
+			waitByCore[s.Core] += s.End - s.Start
+		}
+		e, ok := extent[s.Core]
+		if !ok {
+			e = [2]simtime.Time{s.Start, s.End}
+		}
+		if s.Start < e[0] {
+			e[0] = s.Start
+		}
+		if s.End > e[1] {
+			e[1] = s.End
+		}
+		extent[s.Core] = e
+	}
+
+	shares := trace.WaitShare(run.Spans)
+	var checked int
+	for _, cm := range run.Metrics.Cores {
+		phaseWait := simtime.Duration(cm.Phases["flag-wait"])
+		if got := waitByCore[cm.Core]; got != phaseWait {
+			t.Errorf("core %d: wait spans sum to %d ticks, flag-wait phase has %d",
+				cm.Core, got, phaseWait)
+		}
+		if phaseWait > 0 {
+			checked++
+		}
+		e := extent[cm.Core]
+		if span := e[1] - e[0]; span > 0 {
+			want := float64(phaseWait) / float64(span)
+			if got := shares[cm.Core]; got < want-1e-9 || got > want+1e-9 {
+				t.Errorf("core %d: WaitShare %.6f, snapshot-derived share %.6f",
+					cm.Core, got, want)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no core recorded any blocked wait; the cross-check tested nothing")
+	}
+}

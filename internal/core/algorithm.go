@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"scc/internal/metrics"
 	"scc/internal/scc"
 )
 
@@ -196,15 +197,30 @@ func (x *Ctx) selectAlg(k OpKind, n int) Algorithm {
 
 // traced runs body and, when a span recorder is installed on the core,
 // records the whole collective as one labeled span ("allreduce[ring]").
-// Without a recorder this adds no simulated work at all, so bench
-// results are unaffected.
+// When a metrics registry is attached it additionally folds the call's
+// per-phase time deltas into the per-(op,algorithm) breakdown — the
+// data behind the "where the cycles go" table. Without either hook
+// this adds no simulated work at all, so bench results are unaffected;
+// with them, the only extra actions are Now() reads (which merely
+// apply already-deferred local latency early), so virtual-time results
+// are bit-identical either way.
 func (x *Ctx) traced(k OpKind, a Algorithm, body func() error) error {
 	c := x.ue.Core()
-	if !c.Tracing() {
+	reg := c.Metrics()
+	if !c.Tracing() && reg == nil {
 		return body()
 	}
 	t0 := c.Now()
+	var before [metrics.NumPhases]int64
+	if reg != nil {
+		before = reg.PhaseRow(c.ID)
+	}
 	err := body()
-	c.RecordSpan(k.String()+"["+a.Name()+"]", t0, c.Now())
+	t1 := c.Now()
+	label := k.String() + "[" + a.Name() + "]"
+	if reg != nil {
+		reg.RecordCollective(label, t1-t0, before, reg.PhaseRow(c.ID))
+	}
+	c.RecordSpan(label, t0, t1)
 	return err
 }

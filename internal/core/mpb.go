@@ -165,7 +165,7 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) error {
 	// consumed by the right neighbor; I combine the left neighbor's
 	// buffer r%2 with my input block (me-2-r) into buffer (r+1)%2.
 	for r := 0; r < p-1; r++ {
-		core.ComputeCycles(roundSoftware)
+		core.OverheadCycles(roundSoftware)
 		b := r % 2
 		if r == 0 {
 			// Seed: copy my raw input block (me-1) into buffer 0.
@@ -197,7 +197,7 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) error {
 	// into my private dst. The final round needs no forwarding.
 	buf := make([]float64, maxBlockLen(blocks))
 	for g := 0; g < p-1; g++ {
-		core.ComputeCycles(roundSoftware)
+		core.OverheadCycles(roundSoftware)
 		b := (finalBuf + g) % 2
 		nb := (finalBuf + g + 1) % 2
 		blkIdx := mod(me-1-g, p)

@@ -8,6 +8,7 @@
 package ircce
 
 import (
+	"scc/internal/metrics"
 	"scc/internal/rcce"
 	"scc/internal/scc"
 	"scc/internal/timing"
@@ -108,9 +109,15 @@ func (l *Lib) Test(r *rcce.Request) bool {
 // insert links a request at the list head; the list walk on removal is
 // where iRCCE's management overhead comes from (modeled by the Post/Wait
 // cost constants; the Go-level list here keeps the bookkeeping honest).
+// The pending-list high-water mark is exported through the metrics
+// registry: it is the state the lightweight library (lwnb) caps at one
+// slot per direction.
 func (l *Lib) insert(r *rcce.Request) {
 	l.pending = &node{req: r, next: l.pending}
 	l.length++
+	if reg := l.ue.Core().Metrics(); reg != nil {
+		reg.SetMax(l.ue.Core().ID, metrics.CtrPendingReqsMax, int64(l.length))
+	}
 }
 
 func (l *Lib) remove(r *rcce.Request) {

@@ -9,6 +9,7 @@ package lwnb
 import (
 	"fmt"
 
+	"scc/internal/metrics"
 	"scc/internal/rcce"
 	"scc/internal/scc"
 	"scc/internal/timing"
@@ -65,6 +66,7 @@ func (l *Lib) ISend(dest int, addr scc.Addr, nBytes int) *rcce.Request {
 	}
 	r := l.ue.PostSend(l.costs, dest, addr, nBytes)
 	l.sendSlot = r
+	l.observeOutstanding()
 	return r
 }
 
@@ -75,7 +77,27 @@ func (l *Lib) IRecv(src int, addr scc.Addr, nBytes int) *rcce.Request {
 	}
 	r := l.ue.PostRecv(l.costs, src, addr, nBytes)
 	l.recvSlot = r
+	l.observeOutstanding()
 	return r
+}
+
+// observeOutstanding records the outstanding-request high-water mark
+// (at most 2: one send slot + one receive slot) in the same metrics
+// counter iRCCE uses for its pending list, making the two libraries'
+// request-management state directly comparable in a snapshot.
+func (l *Lib) observeOutstanding() {
+	reg := l.ue.Core().Metrics()
+	if reg == nil {
+		return
+	}
+	var n int64
+	if l.sendSlot != nil && !l.sendSlot.Done() {
+		n++
+	}
+	if l.recvSlot != nil && !l.recvSlot.Done() {
+		n++
+	}
+	reg.SetMax(l.ue.Core().ID, metrics.CtrPendingReqsMax, n)
 }
 
 // Wait blocks until r completes.

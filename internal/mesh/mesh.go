@@ -10,6 +10,7 @@ package mesh
 import (
 	"fmt"
 
+	"scc/internal/metrics"
 	"scc/internal/simtime"
 	"scc/internal/timing"
 )
@@ -106,6 +107,7 @@ type Network struct {
 	busyEpoch []uint64       // busyUntil[i] valid iff busyEpoch[i] == epoch
 	epoch     uint64
 	inj       Injector
+	reg       *metrics.Registry
 
 	// Statistics.
 	transfers   int64
@@ -119,6 +121,25 @@ type Network struct {
 
 // SetInjector installs (or, with nil, removes) a fault injector.
 func (n *Network) SetInjector(inj Injector) { n.inj = inj }
+
+// SetMetrics attaches (or, with nil, detaches) a metrics registry. The
+// registry's link arrays are sized to this network's geometry and its
+// link labels name tiles and directions ("(x,y)E" is the eastbound
+// link out of the router at column x, row y). Recording only counts —
+// it never changes what Transfer returns.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	n.reg = reg
+	if reg != nil {
+		reg.InitLinks(len(n.busyUntil), n.LinkLabel)
+	}
+}
+
+// LinkLabel names a directed link by its dense index, e.g. "(2,1)N".
+func (n *Network) LinkLabel(li int) string {
+	tile := li / numDirs
+	dir := [numDirs]string{"E", "W", "S", "N"}[li%numDirs]
+	return fmt.Sprintf("(%d,%d)%s", tile%n.model.MeshWidth, tile/n.model.MeshWidth, dir)
+}
 
 // New creates a network using the model's geometry and link parameters.
 func New(model *timing.Model) *Network {
@@ -151,6 +172,9 @@ func (n *Network) Transfer(from, to Coord, nBytes int, start simtime.Time) simti
 		return start
 	}
 	n.totalHops += int64(Hops(from, to))
+	if n.reg != nil {
+		n.reg.AddHops(Hops(from, to))
+	}
 
 	// Serialization: cycles the packet body occupies one link.
 	serCycles := int64((nBytes + n.model.MeshLinkBytesPerCycle - 1) / n.model.MeshLinkBytesPerCycle)
@@ -175,13 +199,18 @@ func (n *Network) Transfer(from, to Coord, nBytes int, start simtime.Time) simti
 				n.faultDelay += d
 			}
 		}
+		var queued simtime.Duration
 		if n.busyEpoch[li] == n.epoch && n.busyUntil[li] > headAt {
-			n.totalQueued += n.busyUntil[li] - headAt
+			queued = n.busyUntil[li] - headAt
+			n.totalQueued += queued
 			headAt = n.busyUntil[li]
 			contendedHere = true
 		}
 		n.busyUntil[li] = headAt + ser
 		n.busyEpoch[li] = n.epoch
+		if n.reg != nil {
+			n.reg.LinkTransfer(li, ser, queued)
+		}
 		cur = next
 	}
 	if contendedHere {

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestNamesAreStableAndDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for p := 0; p < NumPhases; p++ {
+		name := Phase(p).String()
+		if name == "" || name == "phase?" || seen[name] {
+			t.Fatalf("phase %d has bad or duplicate name %q", p, name)
+		}
+		seen[name] = true
+	}
+	for c := 0; c < NumCounters; c++ {
+		name := Counter(c).String()
+		if name == "" || name == "counter?" || seen[name] {
+			t.Fatalf("counter %d has bad or duplicate name %q", c, name)
+		}
+		seen[name] = true
+	}
+	if got := len(PhaseNames()); got != NumPhases {
+		t.Fatalf("PhaseNames returned %d names, want %d", got, NumPhases)
+	}
+}
+
+func TestRegistryAccumulation(t *testing.T) {
+	r := New(2)
+	r.InitLinks(4, func(i int) string { return fmt.Sprintf("L%d", i) })
+
+	r.AddPhase(0, PhaseTransfer, 100)
+	r.AddPhase(0, PhaseTransfer, 50)
+	r.AddPhase(1, PhaseFlagWait, 30)
+	r.Count(0, CtrMPBReads)
+	r.CountN(0, CtrMPBBytesRead, 64)
+	r.SetMax(1, CtrPendingReqsMax, 3)
+	r.SetMax(1, CtrPendingReqsMax, 2) // lower: must not overwrite
+	r.LinkTransfer(1, 10, 0)
+	r.LinkTransfer(1, 10, 5)
+	r.AddHops(3)
+	r.AddHops(3)
+	r.AddHops(1000) // clamps into the last bucket
+	r.ObserveWait(100)
+
+	before := r.PhaseRow(0)
+	r.AddPhase(0, PhaseOverhead, 7)
+	r.RecordCollective("allreduce[ring]", 40, before, r.PhaseRow(0))
+
+	s := r.Snapshot()
+	if got := s.Cores[0].Phases["transfer"]; got != 150 {
+		t.Errorf("core 0 transfer = %d, want 150", got)
+	}
+	if got := s.Totals.Phases["flag-wait"]; got != 30 {
+		t.Errorf("total flag-wait = %d, want 30", got)
+	}
+	if got := s.Cores[0].Counters["mpb-bytes-read"]; got != 64 {
+		t.Errorf("mpb-bytes-read = %d, want 64", got)
+	}
+	if got := s.Totals.Counters["pending-reqs-max"]; got != 3 {
+		t.Errorf("pending-reqs-max = %d, want 3 (max, not sum)", got)
+	}
+	if _, ok := s.Cores[1].Counters["mpb-reads"]; ok {
+		t.Error("zero counter should be omitted from the snapshot")
+	}
+	if len(s.Links) != 1 {
+		t.Fatalf("got %d links, want 1 (untouched links omitted)", len(s.Links))
+	}
+	l := s.Links[0]
+	if l.Link != "L1" || l.BusyTicks != 20 || l.QueuedTicks != 5 || l.Transfers != 2 || l.QueuedTransfers != 1 {
+		t.Errorf("link record = %+v", l)
+	}
+	if got := s.HopHist[3]; got != 2 {
+		t.Errorf("hop bucket 3 = %d, want 2", got)
+	}
+	if got := s.HopHist[len(s.HopHist)-1]; got != 1 {
+		t.Errorf("clamped hop bucket = %d, want 1", got)
+	}
+	if len(s.Collectives) != 1 {
+		t.Fatalf("got %d collectives, want 1", len(s.Collectives))
+	}
+	c := s.Collectives[0]
+	if c.Label != "allreduce[ring]" || c.Calls != 1 || c.Ticks != 40 {
+		t.Errorf("collective record = %+v", c)
+	}
+	if got := c.Phases["overhead"]; got != 7 {
+		t.Errorf("collective overhead delta = %d, want 7", got)
+	}
+}
+
+func TestCollectivesSortedByLabel(t *testing.T) {
+	r := New(1)
+	var zero [NumPhases]int64
+	r.RecordCollective("reduce[tree]", 1, zero, zero)
+	r.RecordCollective("allreduce[ring]", 1, zero, zero)
+	r.RecordCollective("broadcast[tree]", 1, zero, zero)
+	s := r.Snapshot()
+	var labels []string
+	for _, c := range s.Collectives {
+		labels = append(labels, c.Label)
+	}
+	want := []string{"allreduce[ring]", "broadcast[tree]", "reduce[tree]"}
+	if fmt.Sprint(labels) != fmt.Sprint(want) {
+		t.Errorf("collective order = %v, want %v", labels, want)
+	}
+}
+
+// TestHotPathDoesNotAllocate pins down the package's core promise: the
+// per-event recording paths never allocate, so a metrics-enabled run
+// does not churn the host allocator (and cannot slow the simulator down
+// asymptotically).
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := New(48)
+	r.InitLinks(96, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.AddPhase(3, PhaseFlagWait, 17)
+		r.Count(3, CtrFlagProbes)
+		r.CountN(3, CtrMPBBytesWritten, 32)
+		r.SetMax(3, CtrPendingReqsMax, 2)
+		r.LinkTransfer(5, 4, 2)
+		r.AddHops(4)
+		r.ObserveWait(1000)
+		_ = r.PhaseRow(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestWriters(t *testing.T) {
+	r := New(2)
+	r.InitLinks(2, nil)
+	r.AddPhase(0, PhaseTransfer, 1600)
+	r.Count(0, CtrMPBReads)
+	r.LinkTransfer(0, 8, 0)
+	var zero [NumPhases]int64
+	r.RecordCollective("allreduce[ring]", 1600, zero, r.PhaseRow(0))
+	s := r.Snapshot()
+
+	var jsonBuf bytes.Buffer
+	if err := s.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON output does not parse back: %v", err)
+	}
+	if back.Cores[0].Phases["transfer"] != 1600 {
+		t.Error("JSON round trip lost the transfer phase")
+	}
+
+	var csvBuf bytes.Buffer
+	if err := s.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if lines[0] != "section,id,metric,value" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(csvBuf.String(), "phase,0,transfer,1600") {
+		t.Error("CSV missing the phase row")
+	}
+
+	var tblBuf bytes.Buffer
+	if err := s.WriteTable(&tblBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase split", "mpb-reads", "allreduce[ring]"} {
+		if !strings.Contains(tblBuf.String(), want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"scc/internal/simtime"
+)
+
+// Snapshot is a frozen, exportable view of a Registry. All time values
+// are virtual-time ticks (1 tick = 0.625 ns; 1600 ticks = 1 µs).
+type Snapshot struct {
+	// Cores holds one row per core, in core order.
+	Cores []CoreMetrics `json:"cores"`
+	// Links lists directed mesh links that carried at least one
+	// transfer, in link-index order.
+	Links []LinkMetrics `json:"links,omitempty"`
+	// HopHist counts end-to-end mesh transfers by route length; index
+	// is the hop count.
+	HopHist []int64 `json:"hopHistogram,omitempty"`
+	// WaitHist counts blocked flag waits by duration bucket; bucket i
+	// holds waits with 2^(i-1) <= ticks < 2^i.
+	WaitHist []int64 `json:"waitHistogram,omitempty"`
+	// Collectives holds the per-(op,algorithm) phase breakdown, sorted
+	// by label.
+	Collectives []CollectiveMetrics `json:"collectives,omitempty"`
+	// Totals aggregates phases and counters over all cores.
+	Totals AggregateMetrics `json:"totals"`
+}
+
+// CoreMetrics is one core's phase split and event counters.
+type CoreMetrics struct {
+	Core     int              `json:"core"`
+	Phases   map[string]int64 `json:"phases"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// LinkMetrics is one directed mesh link's occupancy record.
+type LinkMetrics struct {
+	Link            string `json:"link"`
+	BusyTicks       int64  `json:"busyTicks"`
+	QueuedTicks     int64  `json:"queuedTicks"`
+	Transfers       int64  `json:"transfers"`
+	QueuedTransfers int64  `json:"queuedTransfers"`
+}
+
+// CollectiveMetrics is the aggregated breakdown of one collective
+// label ("allreduce[ring]"): Calls per-core invocations, Ticks summed
+// inclusive duration, Phases summed per-phase deltas.
+type CollectiveMetrics struct {
+	Label  string           `json:"label"`
+	Calls  int64            `json:"calls"`
+	Ticks  int64            `json:"ticks"`
+	Phases map[string]int64 `json:"phases"`
+}
+
+// AggregateMetrics sums phases and counters chip-wide.
+type AggregateMetrics struct {
+	Phases   map[string]int64 `json:"phases"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Snapshot freezes the registry's current state. The registry remains
+// usable (and keeps accumulating) afterwards.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Totals: AggregateMetrics{
+			Phases:   map[string]int64{},
+			Counters: map[string]int64{},
+		},
+	}
+	for id := range r.phase {
+		cm := CoreMetrics{
+			Core:     id,
+			Phases:   map[string]int64{},
+			Counters: map[string]int64{},
+		}
+		for p, v := range r.phase[id] {
+			cm.Phases[Phase(p).String()] = v
+			s.Totals.Phases[Phase(p).String()] += v
+		}
+		for c, v := range r.counters[id] {
+			if v == 0 {
+				continue
+			}
+			cm.Counters[Counter(c).String()] = v
+			if Counter(c) == CtrPendingReqsMax {
+				if v > s.Totals.Counters[Counter(c).String()] {
+					s.Totals.Counters[Counter(c).String()] = v
+				}
+			} else {
+				s.Totals.Counters[Counter(c).String()] += v
+			}
+		}
+		s.Cores = append(s.Cores, cm)
+	}
+	for li, l := range r.links {
+		if l.transfers == 0 {
+			continue
+		}
+		label := strconv.Itoa(li)
+		if r.linkLabel != nil {
+			label = r.linkLabel(li)
+		}
+		s.Links = append(s.Links, LinkMetrics{
+			Link:            label,
+			BusyTicks:       l.busy,
+			QueuedTicks:     l.queued,
+			Transfers:       l.transfers,
+			QueuedTransfers: l.contended,
+		})
+	}
+	s.HopHist = trimTail(r.hopHist[:])
+	s.WaitHist = trimTail(r.waitHist[:])
+	labels := make([]string, 0, len(r.collectives))
+	for label := range r.collectives {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		cs := r.collectives[label]
+		cm := CollectiveMetrics{
+			Label:  label,
+			Calls:  cs.Calls,
+			Ticks:  cs.Ticks,
+			Phases: map[string]int64{},
+		}
+		for p, v := range cs.Phase {
+			cm.Phases[Phase(p).String()] = v
+		}
+		s.Collectives = append(s.Collectives, cm)
+	}
+	return s
+}
+
+// trimTail drops trailing zero buckets, returning nil for an all-zero
+// histogram (so empty histograms vanish from JSON output).
+func trimTail(h []int64) []int64 {
+	last := -1
+	for i, v := range h {
+		if v != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	return append([]int64(nil), h[:last+1]...)
+}
+
+// WriteJSON emits the snapshot as indented JSON. Output is
+// deterministic: struct fields are fixed and encoding/json sorts map
+// keys.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV emits the snapshot as flat CSV with the fixed header
+// section,id,metric,value — one row per (core, phase), (core, counter),
+// (link, field), histogram bucket and (collective, field/phase).
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	row := func(section, id, metric string, v int64) {
+		cw.Write([]string{section, id, metric, strconv.FormatInt(v, 10)})
+	}
+	cw.Write([]string{"section", "id", "metric", "value"})
+	for _, c := range s.Cores {
+		id := strconv.Itoa(c.Core)
+		for _, p := range phaseNames {
+			row("phase", id, p, c.Phases[p])
+		}
+		for _, name := range counterNames {
+			if v := c.Counters[name]; v != 0 {
+				row("counter", id, name, v)
+			}
+		}
+	}
+	for _, l := range s.Links {
+		row("link", l.Link, "busy-ticks", l.BusyTicks)
+		row("link", l.Link, "queued-ticks", l.QueuedTicks)
+		row("link", l.Link, "transfers", l.Transfers)
+		row("link", l.Link, "queued-transfers", l.QueuedTransfers)
+	}
+	for hops, v := range s.HopHist {
+		row("hops", strconv.Itoa(hops), "transfers", v)
+	}
+	for b, v := range s.WaitHist {
+		if v != 0 {
+			row("wait-log2", strconv.Itoa(b), "waits", v)
+		}
+	}
+	for _, c := range s.Collectives {
+		row("collective", c.Label, "calls", c.Calls)
+		row("collective", c.Label, "ticks", c.Ticks)
+		for _, p := range phaseNames {
+			row("collective", c.Label, p, c.Phases[p])
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable renders a human-readable summary: the chip-wide phase
+// split, headline counters, the most contended links, and the
+// per-collective breakdown with phase percentages.
+func (s *Snapshot) WriteTable(w io.Writer) error {
+	var totalPhase int64
+	for _, p := range phaseNames {
+		totalPhase += s.Totals.Phases[p]
+	}
+	fmt.Fprintf(w, "phase split (all %d cores, %s total attributed):\n",
+		len(s.Cores), ticksStr(totalPhase))
+	for _, p := range phaseNames {
+		v := s.Totals.Phases[p]
+		fmt.Fprintf(w, "  %-10s %14s  %5.1f%%\n", p, ticksStr(v), pct(v, totalPhase))
+	}
+
+	fmt.Fprintf(w, "counters:\n")
+	for _, name := range counterNames {
+		if v := s.Totals.Counters[name]; v != 0 {
+			fmt.Fprintf(w, "  %-18s %12d\n", name, v)
+		}
+	}
+
+	if len(s.Links) > 0 {
+		links := append([]LinkMetrics(nil), s.Links...)
+		sort.SliceStable(links, func(i, j int) bool { return links[i].QueuedTicks > links[j].QueuedTicks })
+		n := len(links)
+		if n > 8 {
+			n = 8
+		}
+		fmt.Fprintf(w, "busiest links (of %d active, by queued time):\n", len(s.Links))
+		fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s\n", "link", "busy", "queued", "transfers", "contended")
+		for _, l := range links[:n] {
+			fmt.Fprintf(w, "  %-8s %12s %12s %10d %10d\n",
+				l.Link, ticksStr(l.BusyTicks), ticksStr(l.QueuedTicks), l.Transfers, l.QueuedTransfers)
+		}
+	}
+
+	if len(s.Collectives) > 0 {
+		fmt.Fprintf(w, "collectives (avg ticks/call; phase %% of attributed time):\n")
+		fmt.Fprintf(w, "  %-22s %6s %12s", "label", "calls", "avg/call")
+		for _, p := range phaseNames {
+			fmt.Fprintf(w, " %9s", p)
+		}
+		fmt.Fprintln(w)
+		for _, c := range s.Collectives {
+			var attributed int64
+			for _, p := range phaseNames {
+				attributed += c.Phases[p]
+			}
+			fmt.Fprintf(w, "  %-22s %6d %12s", c.Label, c.Calls, ticksStr(avg(c.Ticks, c.Calls)))
+			for _, p := range phaseNames {
+				fmt.Fprintf(w, " %8.1f%%", pct(c.Phases[p], attributed))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+func avg(sum, n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+func pct(v, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}
+
+// ticksStr renders a tick count with its microsecond value.
+func ticksStr(v int64) string {
+	return fmt.Sprintf("%.1fus", simtime.Duration(v).Micros())
+}

@@ -12,6 +12,7 @@ package rcce
 import (
 	"fmt"
 
+	"scc/internal/metrics"
 	"scc/internal/scc"
 	"scc/internal/simtime"
 )
@@ -148,9 +149,10 @@ func (u *UE) Comm() *Comm { return u.comm }
 // NumUEs returns the communicator size.
 func (u *UE) NumUEs() int { return u.comm.NumUEs() }
 
-// chargeCall prices one library-call entry of n core cycles.
+// chargeCall prices one library-call entry of n core cycles
+// (classified as software overhead in the metrics registry).
 func (u *UE) chargeCall(n int64) {
-	u.core.ComputeCycles(n)
+	u.core.OverheadCycles(n)
 }
 
 // chargePartialLine adds the extra communication-function call RCCE
@@ -158,7 +160,7 @@ func (u *UE) chargeCall(n int64) {
 func (u *UE) chargePartialLine(nBytes int) {
 	m := u.core.Chip().Model
 	if nBytes%m.CacheLineBytes != 0 {
-		u.core.ComputeCycles(m.OverheadPartialLineCall)
+		u.core.OverheadCycles(m.OverheadPartialLineCall)
 	}
 }
 
@@ -167,16 +169,21 @@ func (u *UE) chargePartialLine(nBytes int) {
 // line writes on the MPB side.
 func (u *UE) Put(privAddr scc.Addr, mpbOff, nBytes int) {
 	m := u.core.Chip().Model
+	reg := u.core.Metrics()
 	var t0 simtime.Time
-	if u.core.Tracing() {
+	if u.core.Tracing() || reg != nil {
 		t0 = u.core.Now()
 	}
 	buf := make([]byte, nBytes)
-	u.core.ComputeCycles(m.PutLineCoreCycles * int64(m.Lines(nBytes)))
+	u.core.OverheadCycles(m.PutLineCoreCycles * int64(m.Lines(nBytes)))
 	u.readPriv(privAddr, buf)
 	u.core.MPBWrite(mpbOff, buf)
 	if u.core.Tracing() {
 		u.core.RecordSpan("put", t0, u.core.Now())
+	}
+	if reg != nil {
+		reg.Count(u.core.ID, metrics.CtrPuts)
+		reg.CountN(u.core.ID, metrics.CtrPutTicks, int64(u.core.Now()-t0))
 	}
 }
 
@@ -184,16 +191,21 @@ func (u *UE) Put(privAddr scc.Addr, mpbOff, nBytes int) {
 // memory at privAddr.
 func (u *UE) Get(mpbOff int, privAddr scc.Addr, nBytes int) {
 	m := u.core.Chip().Model
+	reg := u.core.Metrics()
 	var t0 simtime.Time
-	if u.core.Tracing() {
+	if u.core.Tracing() || reg != nil {
 		t0 = u.core.Now()
 	}
 	buf := make([]byte, nBytes)
-	u.core.ComputeCycles(m.GetLineCoreCycles * int64(m.Lines(nBytes)))
+	u.core.OverheadCycles(m.GetLineCoreCycles * int64(m.Lines(nBytes)))
 	u.core.MPBRead(mpbOff, buf)
 	u.writePriv(privAddr, buf)
 	if u.core.Tracing() {
 		u.core.RecordSpan("get", t0, u.core.Now())
+	}
+	if reg != nil {
+		reg.Count(u.core.ID, metrics.CtrGets)
+		reg.CountN(u.core.ID, metrics.CtrGetTicks, int64(u.core.Now()-t0))
 	}
 }
 
@@ -217,6 +229,11 @@ func (u *UE) Send(dest int, addr scc.Addr, nBytes int) {
 		panic(fmt.Sprintf("rcce: UE %d sending to itself", dest))
 	}
 	m := u.core.Chip().Model
+	reg := u.core.Metrics()
+	var t0 simtime.Time
+	if reg != nil {
+		t0 = u.core.Now()
+	}
 	u.chargeCall(m.OverheadBlockingCall)
 	u.chargePartialLine(nBytes)
 	chunk := u.comm.DataBytes()
@@ -233,6 +250,10 @@ func (u *UE) Send(dest int, addr scc.Addr, nBytes int) {
 			break
 		}
 	}
+	if reg != nil {
+		reg.Count(u.core.ID, metrics.CtrSends)
+		reg.CountN(u.core.ID, metrics.CtrSendTicks, int64(u.core.Now()-t0))
+	}
 }
 
 // Recv receives nBytes from UE src into private memory, blocking.
@@ -241,6 +262,11 @@ func (u *UE) Recv(src int, addr scc.Addr, nBytes int) {
 		panic(fmt.Sprintf("rcce: UE %d receiving from itself", src))
 	}
 	m := u.core.Chip().Model
+	reg := u.core.Metrics()
+	var t0 simtime.Time
+	if reg != nil {
+		t0 = u.core.Now()
+	}
 	u.chargeCall(m.OverheadBlockingCall)
 	u.chargePartialLine(nBytes)
 	chunk := u.comm.DataBytes()
@@ -256,6 +282,10 @@ func (u *UE) Recv(src int, addr scc.Addr, nBytes int) {
 		if nBytes == 0 {
 			break
 		}
+	}
+	if reg != nil {
+		reg.Count(u.core.ID, metrics.CtrRecvs)
+		reg.CountN(u.core.ID, metrics.CtrRecvTicks, int64(u.core.Now()-t0))
 	}
 }
 

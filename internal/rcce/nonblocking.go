@@ -3,6 +3,7 @@ package rcce
 import (
 	"fmt"
 
+	"scc/internal/metrics"
 	"scc/internal/scc"
 )
 
@@ -99,10 +100,16 @@ func (u *UE) PostSend(costs NBCosts, dest int, addr scc.Addr, nBytes int) *Reque
 	// send can be on the wire. A second post drains the first (iRCCE
 	// would queue it; the wire-level serialization is the same).
 	if u.activeSend != nil && !u.activeSend.done {
+		if reg := u.core.Metrics(); reg != nil {
+			reg.Count(u.core.ID, metrics.CtrSlotDrains)
+		}
 		u.WaitAll(costs, u.activeSend)
 	}
-	u.core.ComputeCycles(costs.Post)
+	u.core.OverheadCycles(costs.Post)
 	u.chargePartialLine(nBytes)
+	if reg := u.core.Metrics(); reg != nil {
+		reg.Count(u.core.ID, metrics.CtrReqsPosted)
+	}
 	r := &Request{kind: ReqSend, ue: u, peer: dest, addr: addr, n: nBytes}
 	r.stageChunk()
 	u.activeSend = r
@@ -116,8 +123,11 @@ func (u *UE) PostRecv(costs NBCosts, src int, addr scc.Addr, nBytes int) *Reques
 	if src == u.ID() {
 		panic(fmt.Sprintf("rcce: UE %d irecv from itself", src))
 	}
-	u.core.ComputeCycles(costs.Post)
+	u.core.OverheadCycles(costs.Post)
 	u.chargePartialLine(nBytes)
+	if reg := u.core.Metrics(); reg != nil {
+		reg.Count(u.core.ID, metrics.CtrReqsPosted)
+	}
 	r := &Request{kind: ReqRecv, ue: u, peer: src, addr: addr, n: nBytes}
 	// Opportunistic probe, like iRCCE_irecv's immediate push.
 	r.tryProgress(costs)
@@ -156,7 +166,7 @@ func (r *Request) tryProgress(costs NBCosts) bool {
 		return false
 	}
 	u := r.ue
-	u.core.ComputeCycles(costs.Progress)
+	u.core.OverheadCycles(costs.Progress)
 	advanced := false
 	for !r.done {
 		flag := r.pendingFlag()
@@ -220,7 +230,10 @@ func (u *UE) WaitAll(costs NBCosts, reqs ...*Request) {
 		if len(pending) == 0 {
 			break
 		}
-		u.core.ComputeCycles(costs.Wait)
+		u.core.OverheadCycles(costs.Wait)
+		if reg := u.core.Metrics(); reg != nil {
+			reg.Count(u.core.ID, metrics.CtrReqWaitRounds)
+		}
 		idx := u.core.WaitFlagAny(flags, 1)
 		pending[idx].tryProgress(costs)
 		// Opportunistically push the others, too (their flags may have

@@ -238,7 +238,7 @@ func (r *robustOp) chargeChecksum(n int) {
 	if lines < 1 {
 		lines = 1
 	}
-	r.u.core.ComputeCycles(m.ChecksumPerLineCoreCycles * lines)
+	r.u.core.OverheadCycles(m.ChecksumPerLineCoreCycles * lines)
 }
 
 // stage copies the current chunk into the peer's staging region along
@@ -287,7 +287,7 @@ func (r *robustOp) completeChunk(n int) {
 // retransmit re-stages the chunk in flight after a timeout or NACK.
 func (r *robustOp) retransmit() {
 	u := r.u
-	u.core.ComputeCycles(u.core.Chip().Model.OverheadRetransmit)
+	u.core.OverheadCycles(u.core.Chip().Model.OverheadRetransmit)
 	u.stats.Retransmits++
 	r.stage()
 	r.backoff()
@@ -340,7 +340,7 @@ func (r *robustOp) advance(v byte) {
 func (r *robustOp) onTimeout() error {
 	u := r.u
 	m := u.core.Chip().Model
-	u.core.ComputeCycles(m.OverheadTimeoutCheck)
+	u.core.OverheadCycles(m.OverheadTimeoutCheck)
 	u.stats.Timeouts++
 	if r.kind == ReqSend && u.core.ProbeFlag(r.progressOff()) == r.seq {
 		// The receiver consumed this chunk; its ACK was lost. Treat as
@@ -402,7 +402,7 @@ func (u *UE) runRobust(ops ...*robustOp) error {
 			settle()
 			return nil
 		}
-		u.core.ComputeCycles(u.costsWaitFor(pend))
+		u.core.OverheadCycles(u.costsWaitFor(pend))
 		limit := minDL - u.core.Now()
 		if limit < 1 {
 			limit = 1
@@ -447,7 +447,7 @@ func (u *UE) costsWaitFor(pend []*robustOp) int64 {
 // iRCCE or lightweight).
 func (u *UE) SendRobust(costs NBCosts, pol Policy, dest int, addr scc.Addr, nBytes int) error {
 	pol = pol.withDefaults()
-	u.core.ComputeCycles(costs.Post)
+	u.core.OverheadCycles(costs.Post)
 	u.chargePartialLine(nBytes)
 	return u.runRobust(u.newRobustOp(ReqSend, costs, pol, dest, addr, nBytes))
 }
@@ -455,7 +455,7 @@ func (u *UE) SendRobust(costs NBCosts, pol Policy, dest int, addr scc.Addr, nByt
 // RecvRobust receives nBytes from src with the hardened protocol.
 func (u *UE) RecvRobust(costs NBCosts, pol Policy, src int, addr scc.Addr, nBytes int) error {
 	pol = pol.withDefaults()
-	u.core.ComputeCycles(costs.Post)
+	u.core.OverheadCycles(costs.Post)
 	u.chargePartialLine(nBytes)
 	return u.runRobust(u.newRobustOp(ReqRecv, costs, pol, src, addr, nBytes))
 }
@@ -465,7 +465,7 @@ func (u *UE) RecvRobust(costs NBCosts, pol Policy, src int, addr scc.Addr, nByte
 // multi-flag wait, so symmetric exchanges need no odd/even ordering.
 func (u *UE) ExchangeRobust(costs NBCosts, pol Policy, dest int, sAddr scc.Addr, sBytes int, src int, rAddr scc.Addr, rBytes int) error {
 	pol = pol.withDefaults()
-	u.core.ComputeCycles(2 * costs.Post)
+	u.core.OverheadCycles(2 * costs.Post)
 	u.chargePartialLine(sBytes)
 	u.chargePartialLine(rBytes)
 	return u.runRobust(
@@ -519,7 +519,7 @@ func (u *UE) barrierGroup(members []int, pol *Policy) error {
 			if _, ok := u.core.WaitFlagMatch(off, window, isGen); ok {
 				return nil
 			}
-			u.core.ComputeCycles(m.OverheadTimeoutCheck)
+			u.core.OverheadCycles(m.OverheadTimeoutCheck)
 			u.stats.Timeouts++
 			if try >= pol.MaxRetries {
 				return fmt.Errorf("%w: group barrier (root %02d, gen %d)", ErrUnreachable, root, gen)

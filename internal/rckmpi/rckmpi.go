@@ -45,12 +45,12 @@ func (l *Lib) core() *scc.Core { return l.ue.Core() }
 
 // chargeCall prices one MPI point-to-point call's software layering.
 func (l *Lib) chargeCall() {
-	l.core().ComputeCycles(l.core().Chip().Model.OverheadRCKMPICall)
+	l.core().OverheadCycles(l.core().Chip().Model.OverheadRCKMPICall)
 }
 
 // chargeBytes prices the channel's per-byte copy work on one side.
 func (l *Lib) chargeBytes(n int) {
-	l.core().ComputeCycles(l.core().Chip().Model.RCKMPIPerByteCoreCycles * int64(n))
+	l.core().OverheadCycles(l.core().Chip().Model.RCKMPIPerByteCoreCycles * int64(n))
 }
 
 // Window returns the per-sender MPB window size of the SCCMPB channel.
@@ -93,7 +93,7 @@ func (l *Lib) Send(dest int, addr scc.Addr, nBytes int) {
 		if n > chunk {
 			n = chunk
 		}
-		c.ComputeCycles(progress) // channel progress engine, per window
+		c.OverheadCycles(progress) // channel progress engine, per window
 		l.chargeBytes(n)
 		c.TouchRead(addr+scc.Addr(off), n)
 		copy(buf[:n], c.PrivBytes(addr+scc.Addr(off), n))
@@ -125,7 +125,7 @@ func (l *Lib) Recv(src int, addr scc.Addr, nBytes int) {
 		if n > chunk {
 			n = chunk
 		}
-		c.ComputeCycles(progress) // channel progress engine, per window
+		c.OverheadCycles(progress) // channel progress engine, per window
 		c.WaitFlag(sent, 1)
 		c.SetFlag(sent, 0)
 		c.MPBRead(comm.DataBase(src), buf[:n])

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"scc/internal/mesh"
+	"scc/internal/metrics"
 	"scc/internal/simtime"
 	"scc/internal/timing"
 )
@@ -66,6 +67,12 @@ type Chip struct {
 	tasTaken   []bool
 	tasSigs    map[int]*simtime.Signal
 	tasWaiting map[int]int
+
+	// metrics, when non-nil, receives phase/counter observations from
+	// every core and the mesh (see internal/metrics). Recording never
+	// advances virtual time, so an instrumented run is bit-identical
+	// to an uninstrumented one.
+	metrics *metrics.Registry
 }
 
 // New builds a chip for the given model (use timing.Default for the
@@ -95,6 +102,22 @@ func New(model *timing.Model) *Chip {
 
 // NumCores returns how many cores the chip has.
 func (c *Chip) NumCores() int { return len(c.Cores) }
+
+// SetMetrics attaches (or, with nil, detaches) a metrics registry to
+// the chip and its mesh. Install it before Run (typically right after
+// New). The registry must have been created for this chip's core
+// count.
+func (c *Chip) SetMetrics(reg *metrics.Registry) {
+	if reg != nil && reg.NumCores() != c.NumCores() {
+		panic(fmt.Sprintf("scc: metrics registry sized for %d cores on a %d-core chip",
+			reg.NumCores(), c.NumCores()))
+	}
+	c.metrics = reg
+	c.Net.SetMetrics(reg)
+}
+
+// Metrics returns the attached metrics registry, or nil.
+func (c *Chip) Metrics() *metrics.Registry { return c.metrics }
 
 // TileOf returns the mesh coordinate of a core's tile. Cores are numbered
 // as on the real SCC: core id / 2 is the tile index, tiles are row-major

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"scc/internal/mesh"
+	"scc/internal/metrics"
 	"scc/internal/simtime"
 )
 
@@ -95,6 +96,11 @@ func (c *Core) RecordSpan(label string, start, end simtime.Time) {
 // Tracing reports whether a span recorder is installed.
 func (c *Core) Tracing() bool { return c.spanRec != nil }
 
+// Metrics returns the chip's metrics registry, or nil when metrics are
+// off. Protocol layers use it for their own counters; all observations
+// are pure recording and never advance virtual time.
+func (c *Core) Metrics() *metrics.Registry { return c.chip.metrics }
+
 // chargeLocal defers a purely local latency.
 func (c *Core) chargeLocal(d simtime.Duration) { c.pending += d }
 
@@ -181,21 +187,38 @@ func (c *Core) AllocF64(n int) Addr { return c.Alloc(8 * n) }
 // matching the SCC tile's cache policies).
 func (c *Core) privAccessCost(a Addr, write bool) simtime.Duration {
 	m := c.chip.Model
+	reg := c.chip.metrics
 	line := int64(a) / int64(m.CacheLineBytes)
+	var d simtime.Duration
 	switch {
 	case c.l1.lookup(line):
-		return m.L1Hit()
+		if reg != nil {
+			reg.Count(c.ID, metrics.CtrL1Hits)
+		}
+		d = m.L1Hit()
 	case c.l2.lookup(line):
 		c.l1.insert(line)
-		return m.L2Hit()
+		if reg != nil {
+			reg.Count(c.ID, metrics.CtrL1Misses)
+			reg.Count(c.ID, metrics.CtrL2Hits)
+		}
+		d = m.L2Hit()
 	default:
 		hops := mesh.Hops(c.tile, c.chip.memControllerFor(c.ID))
 		c.l1.insert(line)
 		if !write { // L2 is non-write-allocate
 			c.l2.insert(line)
 		}
-		return m.DRAMAccess(hops)
+		if reg != nil {
+			reg.Count(c.ID, metrics.CtrL1Misses)
+			reg.Count(c.ID, metrics.CtrL2Misses)
+		}
+		d = m.DRAMAccess(hops)
 	}
+	if reg != nil {
+		reg.AddPhase(c.ID, metrics.PhaseMemory, d)
+	}
+	return d
 }
 
 // chargePrivAccess prices one private-memory access (deferred: private
@@ -268,16 +291,37 @@ func (c *Core) Compute(d simtime.Duration) {
 	}
 	c.prof.Compute += d
 	c.chargeLocal(d)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, metrics.PhaseCompute, d)
+	}
+}
+
+// chargeCyclesAs charges n core clock cycles at the core's current
+// clock (DVFS-aware), accumulates the energy estimate, and attributes
+// the time to the given metrics phase. Timing, energy and the Profile
+// are identical for every phase — only the metrics classification
+// differs.
+func (c *Core) chargeCyclesAs(ph metrics.Phase, n int64) {
+	d := c.cycleDuration(n)
+	c.energy += c.relativePower() * d.Seconds()
+	c.prof.Compute += d
+	c.chargeLocal(d)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, ph, d)
+	}
 }
 
 // ComputeCycles charges n core clock cycles of computation at the
 // core's current clock (DVFS-aware) and accumulates the energy
 // estimate.
-func (c *Core) ComputeCycles(n int64) {
-	d := c.cycleDuration(n)
-	c.energy += c.relativePower() * d.Seconds()
-	c.Compute(d)
-}
+func (c *Core) ComputeCycles(n int64) { c.chargeCyclesAs(metrics.PhaseCompute, n) }
+
+// OverheadCycles charges n core clock cycles of communication-library
+// software overhead. It is priced exactly like ComputeCycles (same
+// clock, energy and Profile accounting) but classified as
+// PhaseOverhead in the metrics registry, so the "where the cycles go"
+// breakdown can separate library time from application compute.
+func (c *Core) OverheadCycles(n int64) { c.chargeCyclesAs(metrics.PhaseOverhead, n) }
 
 // --- MPB access ---
 
@@ -287,9 +331,12 @@ func (c *Core) mpbHops(owner int) int {
 }
 
 // mpbLineAccess charges the latency of one line-sized MPB access and
-// models link occupancy for remote accesses.
-func (c *Core) mpbLineAccess(owner int, read bool) {
-	c.proc.Sleep(c.mpbAccessCost(owner, 1, read))
+// models link occupancy for remote accesses. It returns the paid cost
+// so callers can attribute it to a metrics phase.
+func (c *Core) mpbLineAccess(owner int, read bool) simtime.Duration {
+	d := c.mpbAccessCost(owner, 1, read)
+	c.proc.Sleep(d)
+	return d
 }
 
 // mpbAccessCost prices nLines consecutive line-sized MPB accesses
@@ -338,7 +385,13 @@ func (c *Core) MPBWrite(off int, src []byte) {
 	c.checkMPBRange(off, len(src))
 	m := c.chip.Model
 	owner := c.chip.MPBOwner(off)
-	c.proc.Sleep(c.mpbAccessCost(owner, m.Lines(len(src)), false))
+	cost := c.mpbAccessCost(owner, m.Lines(len(src)), false)
+	c.proc.Sleep(cost)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, metrics.PhaseTransfer, cost)
+		r.Count(c.ID, metrics.CtrMPBWrites)
+		r.CountN(c.ID, metrics.CtrMPBBytesWritten, int64(len(src)))
+	}
 	if h := c.chip.Fault; h != nil {
 		data := append([]byte(nil), src...)
 		if h.FilterMPBWrite(c.ID, off, data, c.proc.Now()) {
@@ -361,7 +414,13 @@ func (c *Core) MPBRead(off int, dst []byte) {
 	c.checkMPBRange(off, len(dst))
 	m := c.chip.Model
 	owner := c.chip.MPBOwner(off)
-	c.proc.Sleep(c.mpbAccessCost(owner, m.Lines(len(dst)), true))
+	cost := c.mpbAccessCost(owner, m.Lines(len(dst)), true)
+	c.proc.Sleep(cost)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, metrics.PhaseTransfer, cost)
+		r.Count(c.ID, metrics.CtrMPBReads)
+		r.CountN(c.ID, metrics.CtrMPBBytesRead, int64(len(dst)))
+	}
 	copy(dst, c.chip.mpb[off:off+len(dst)])
 	c.prof.MPBBytesRead += int64(len(dst))
 }
@@ -391,7 +450,11 @@ func (c *Core) MPBReadF64s(off int, dst []float64) {
 func (c *Core) SetFlag(off int, v byte) {
 	c.checkMPBRange(off, 1)
 	owner := c.chip.MPBOwner(off)
-	c.mpbLineAccess(owner, false)
+	cost := c.mpbLineAccess(owner, false)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, metrics.PhaseFlagSync, cost)
+		r.Count(c.ID, metrics.CtrFlagSets)
+	}
 	if h := c.chip.Fault; h != nil && h.DropFlagWrite(c.ID, off, c.proc.Now()) {
 		return // flag write lost in flight: cost paid, no update, no wake-up
 	}
@@ -406,7 +469,11 @@ func (c *Core) SetFlag(off int, v byte) {
 // line read (a non-blocking test).
 func (c *Core) ProbeFlag(off int) byte {
 	c.checkMPBRange(off, 1)
-	c.mpbLineAccess(c.chip.MPBOwner(off), true)
+	cost := c.mpbLineAccess(c.chip.MPBOwner(off), true)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, metrics.PhaseFlagSync, cost)
+		r.Count(c.ID, metrics.CtrFlagProbes)
+	}
 	return c.chip.mpb[off]
 }
 
@@ -416,10 +483,17 @@ func (c *Core) ProbeFlag(off int) byte {
 func (c *Core) WaitFlag(off int, want byte) simtime.Duration {
 	c.checkMPBRange(off, 1)
 	owner := c.chip.MPBOwner(off)
-	begin := c.proc.Now()
+	// Flush deferred local latency first: it is work that happened before
+	// the wait, so it must not inflate the wait interval (which becomes
+	// the "wait-flag" span and the flag-wait phase).
+	begin := c.Now()
+	reg := c.chip.metrics
 	blocked := false
 	for {
 		c.mpbLineAccess(owner, true)
+		if reg != nil {
+			reg.Count(c.ID, metrics.CtrFlagProbes)
+		}
 		if c.chip.mpb[off] == want {
 			break
 		}
@@ -433,11 +507,29 @@ func (c *Core) WaitFlag(off int, want byte) simtime.Duration {
 	}
 	waited := c.proc.Now() - begin
 	c.prof.FlagWait += waited
+	c.recordWait(reg, waited, blocked)
 	if blocked {
 		c.prof.FlagWaits++
 		c.RecordSpan("wait-flag", begin, c.proc.Now())
 	}
 	return waited
+}
+
+// recordWait attributes one wait interval to the metrics registry: the
+// whole interval (probes included) counts as PhaseFlagWait when the
+// wait actually blocked — the exact extent of the "wait-*" trace span —
+// and as unblocked flag traffic (PhaseFlagSync) otherwise.
+func (c *Core) recordWait(reg *metrics.Registry, waited simtime.Duration, blocked bool) {
+	if reg == nil {
+		return
+	}
+	if blocked {
+		reg.AddPhase(c.ID, metrics.PhaseFlagWait, waited)
+		reg.Count(c.ID, metrics.CtrBlockedWaits)
+		reg.ObserveWait(waited)
+	} else {
+		reg.AddPhase(c.ID, metrics.PhaseFlagSync, waited)
+	}
 }
 
 // WaitFlagAny blocks until at least one of the MPB flag bytes in offs
@@ -450,17 +542,23 @@ func (c *Core) WaitFlagAny(offs []int, want byte) int {
 	if len(offs) == 0 {
 		panic("scc: WaitFlagAny with no flags")
 	}
-	begin := c.proc.Now()
+	begin := c.Now() // flush deferred local latency before the wait interval
+	reg := c.chip.metrics
 	blocked := false
 	for {
 		for i, off := range offs {
 			c.checkMPBRange(off, 1)
 			c.mpbLineAccess(c.chip.MPBOwner(off), true)
+			if reg != nil {
+				reg.Count(c.ID, metrics.CtrFlagProbes)
+			}
 			if c.chip.mpb[off] == want {
 				waited := c.proc.Now() - begin
 				c.prof.FlagWait += waited
+				c.recordWait(reg, waited, blocked)
 				if blocked {
 					c.prof.FlagWaits++
+					c.RecordSpan("wait-any", begin, c.proc.Now())
 				}
 				return i
 			}

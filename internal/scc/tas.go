@@ -3,6 +3,7 @@ package scc
 import (
 	"fmt"
 
+	"scc/internal/metrics"
 	"scc/internal/simtime"
 )
 
@@ -14,32 +15,49 @@ import (
 // (same mesh path, no erratum involvement - the registers are in the
 // CRB, not the MPB).
 
-// tasAccess charges one register access at owner's tile.
-func (c *Core) tasAccess(owner int) {
+// tasAccess charges one register access at owner's tile and returns
+// the paid cost.
+func (c *Core) tasAccess(owner int) simtime.Duration {
 	m := c.chip.Model
 	hops := c.mpbHops(owner)
+	var d simtime.Duration
 	if hops == 0 {
-		c.flushLocal()
-		c.proc.Sleep(simtime.CoreCycles(m.MPBLocalFastCoreCycles))
-		return
+		d = simtime.CoreCycles(m.MPBLocalFastCoreCycles)
+	} else {
+		d = simtime.CoreCycles(m.MPBRemoteBaseCoreCycles) +
+			simtime.MeshCycles(m.MeshHopRoundTripMeshCycles*int64(hops))
 	}
 	c.flushLocal()
-	c.proc.Sleep(simtime.CoreCycles(m.MPBRemoteBaseCoreCycles) +
-		simtime.MeshCycles(m.MeshHopRoundTripMeshCycles*int64(hops)))
+	c.proc.Sleep(d)
+	return d
 }
 
 // TASTest performs one test-and-set probe of core target's register:
 // it returns true (and holds the lock) if the register was free.
 func (c *Core) TASTest(target int) bool {
+	cost, ok := c.tasTest(target)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, metrics.PhaseFlagSync, cost)
+	}
+	return ok
+}
+
+// tasTest is the probe without phase attribution: TASAcquire's spin
+// loop claims its whole interval (probes included) as flag-wait time,
+// so the individual probes must not double-record.
+func (c *Core) tasTest(target int) (simtime.Duration, bool) {
 	if target < 0 || target >= len(c.chip.Cores) {
 		panic(fmt.Sprintf("scc: TAS register %d out of range", target))
 	}
-	c.tasAccess(target)
+	cost := c.tasAccess(target)
+	if r := c.chip.metrics; r != nil {
+		r.Count(c.ID, metrics.CtrTASProbes)
+	}
 	if !c.chip.tasTaken[target] {
 		c.chip.tasTaken[target] = true
-		return true
+		return cost, true
 	}
-	return false
+	return cost, false
 }
 
 // TASAcquire spins on core target's test-and-set register until the
@@ -47,9 +65,13 @@ func (c *Core) TASTest(target int) bool {
 // woken by the release (the simulation equivalent of the polling loop,
 // with each wake-up paying one more register probe).
 func (c *Core) TASAcquire(target int) {
-	begin := c.proc.Now()
+	begin := c.Now() // flush deferred local latency before the wait interval
 	blocked := false
-	for !c.TASTest(target) {
+	for {
+		_, ok := c.tasTest(target)
+		if ok {
+			break
+		}
 		blocked = true
 		c.chip.tasWaiting[target]++
 		c.proc.WaitOn(c.chip.tasSignal(target),
@@ -60,8 +82,10 @@ func (c *Core) TASAcquire(target int) {
 	}
 	waited := c.proc.Now() - begin
 	c.prof.FlagWait += waited
+	c.recordWait(c.chip.metrics, waited, blocked)
 	if blocked {
 		c.prof.FlagWaits++
+		c.RecordSpan("wait-tas", begin, c.proc.Now())
 	}
 }
 
@@ -70,7 +94,10 @@ func (c *Core) TASRelease(target int) {
 	if target < 0 || target >= len(c.chip.Cores) {
 		panic(fmt.Sprintf("scc: TAS register %d out of range", target))
 	}
-	c.tasAccess(target)
+	cost := c.tasAccess(target)
+	if r := c.chip.metrics; r != nil {
+		r.AddPhase(c.ID, metrics.PhaseFlagSync, cost)
+	}
 	if !c.chip.tasTaken[target] {
 		panic(fmt.Sprintf("scc: core %d releasing free T&S register %d", c.ID, target))
 	}

@@ -3,6 +3,7 @@ package scc
 import (
 	"fmt"
 
+	"scc/internal/metrics"
 	"scc/internal/simtime"
 )
 
@@ -21,11 +22,14 @@ import (
 func (c *Core) WaitFlagMatch(off int, limit simtime.Duration, pred func(byte) bool) (byte, bool) {
 	c.checkMPBRange(off, 1)
 	owner := c.chip.MPBOwner(off)
-	begin := c.proc.Now()
+	begin := c.Now() // flush deferred local latency before the wait interval
+	reg := c.chip.metrics
 	deadline := begin + limit
 	blocked := false
 	finish := func(v byte, ok bool) (byte, bool) {
-		c.prof.FlagWait += c.proc.Now() - begin
+		waited := c.proc.Now() - begin
+		c.prof.FlagWait += waited
+		c.recordWait(reg, waited, blocked)
 		if blocked {
 			c.prof.FlagWaits++
 			c.RecordSpan("wait-flag", begin, c.proc.Now())
@@ -34,6 +38,9 @@ func (c *Core) WaitFlagMatch(off int, limit simtime.Duration, pred func(byte) bo
 	}
 	for {
 		c.mpbLineAccess(owner, true)
+		if reg != nil {
+			reg.Count(c.ID, metrics.CtrFlagProbes)
+		}
 		if v := c.chip.mpb[off]; pred(v) {
 			return finish(v, true)
 		}
@@ -64,19 +71,26 @@ func (c *Core) WaitFlagsMatch(offs []int, limit simtime.Duration, pred func(i in
 	if len(offs) == 0 {
 		panic("scc: WaitFlagsMatch with no flags")
 	}
-	begin := c.proc.Now()
+	begin := c.Now() // flush deferred local latency before the wait interval
+	reg := c.chip.metrics
 	deadline := begin + limit
 	blocked := false
 	finish := func() {
-		c.prof.FlagWait += c.proc.Now() - begin
+		waited := c.proc.Now() - begin
+		c.prof.FlagWait += waited
+		c.recordWait(reg, waited, blocked)
 		if blocked {
 			c.prof.FlagWaits++
+			c.RecordSpan("wait-any", begin, c.proc.Now())
 		}
 	}
 	for {
 		for i, off := range offs {
 			c.checkMPBRange(off, 1)
 			c.mpbLineAccess(c.chip.MPBOwner(off), true)
+			if reg != nil {
+				reg.Count(c.ID, metrics.CtrFlagProbes)
+			}
 			if v := c.chip.mpb[off]; pred(i, v) {
 				finish()
 				return i, v, true

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"scc/internal/simtime"
+)
+
+// This file exports span timelines in the Chrome Trace Event Format
+// (the JSON Object Format variant: {"traceEvents": [...], ...}), so a
+// simulated protocol run can be inspected interactively in
+// chrome://tracing or https://ui.perfetto.dev instead of the ASCII
+// renderer. Each simulated core becomes one thread (tid) of a single
+// "sccsim" process (pid 0); every span becomes a complete ("X") event.
+// Timestamps and durations are microseconds of virtual time (the
+// format's native unit; 1600 simulator ticks = 1 µs).
+//
+// Output is deterministic for a given span list: events are emitted in
+// a stable order and encoding/json serializes maps with sorted keys,
+// which is what the golden-file test relies on.
+
+// chromeTrace is the top-level JSON Object Format document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// chromeEvent is one Trace Event. Only the fields the "M" and "X"
+// phases need are modeled.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeCategory buckets a span label for Perfetto's category filter,
+// reusing the label-prefix classes of the ASCII renderer's legend.
+func chromeCategory(label string) string {
+	switch symbolFor(label) {
+	case '.':
+		return "wait"
+	case 'P', 'G':
+		return "copy"
+	case 'S', 'R':
+		return "transfer"
+	case 'C':
+		return "compute"
+	case 'f':
+		return "flag"
+	default:
+		return "collective"
+	}
+}
+
+// ticksToMicros converts virtual-time ticks to the trace format's
+// microsecond unit. Rounding to 1/1000 µs keeps the JSON stable across
+// platforms (ticks are exact multiples of 1/1600 µs; three decimal
+// digits lose at most 0.4 ns, far below the model's resolution).
+func ticksToMicros(t simtime.Duration) float64 {
+	return math.Round(float64(t)/float64(simtime.TicksPerMicrosecond)*1000) / 1000
+}
+
+// WriteChromeTrace emits spans as a Chrome Trace Event JSON document.
+// otherData, when non-nil, is attached verbatim under "otherData"
+// (sccbench stores the metrics snapshot there, so one file carries the
+// timeline and the counters). Spans may be in any order; cores become
+// threads named "core NN" and sorted numerically.
+func WriteChromeTrace(w io.Writer, spans []Span, otherData map[string]any) error {
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].Core < ordered[j].Core
+	})
+
+	cores := map[int]bool{}
+	for _, s := range ordered {
+		cores[s.Core] = true
+	}
+	ids := make([]int, 0, len(cores))
+	for id := range cores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	doc := chromeTrace{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ns",
+		OtherData:       otherData,
+	}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "sccsim"},
+	})
+	for _, id := range ids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]any{"name": fmt.Sprintf("core %02d", id)},
+		})
+	}
+	for _, s := range ordered {
+		dur := ticksToMicros(s.End - s.Start)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Label,
+			Ph:   "X",
+			Cat:  chromeCategory(s.Label),
+			Ts:   ticksToMicros(simtime.Duration(s.Start)),
+			Dur:  &dur,
+			Pid:  0,
+			Tid:  s.Core,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scc/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite the Chrome-trace golden file")
+
+// goldenSpans is a tiny fixed timeline covering every category class:
+// a blocked wait, an MPB copy, and a collective span, deliberately
+// passed out of order to exercise the writer's stable sort.
+func goldenSpans() []Span {
+	us := simtime.Time(simtime.TicksPerMicrosecond)
+	return []Span{
+		{Core: 0, Label: "allreduce[ring]", Start: 2 * us, End: 3 * us},
+		{Core: 1, Label: "put line", Start: 0, End: 1 * us},
+		{Core: 0, Label: "wait-flag", Start: 0, End: 2 * us},
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exact serialized form of the
+// Chrome Trace Event export. Regenerate with
+//
+//	go test ./internal/trace -run Golden -update
+//
+// and eyeball the diff: any change here changes what Perfetto loads.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, goldenSpans(), map[string]any{"note": "golden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeTraceValid checks the structural contract the viewers
+// rely on: parseable JSON, a traceEvents array whose events carry the
+// required phase fields, metadata naming every thread, and one complete
+// event per span with non-negative times.
+func TestWriteChromeTraceValid(t *testing.T) {
+	spans := goldenSpans()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var complete, threadNames int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames++
+				if e.Args["name"] == "" {
+					t.Errorf("thread %d has empty name", e.Tid)
+				}
+			}
+		case "X":
+			complete++
+			if e.Ts < 0 || e.Dur == nil || *e.Dur < 0 {
+				t.Errorf("event %q has bad times ts=%v dur=%v", e.Name, e.Ts, e.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if complete != len(spans) {
+		t.Errorf("%d complete events for %d spans", complete, len(spans))
+	}
+	if threadNames != 2 {
+		t.Errorf("%d thread_name records, want 2 (cores 0 and 1)", threadNames)
+	}
+}
+
+// TestWriteChromeTraceDeterministic feeds the same spans in two
+// different orders and demands byte-identical output.
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	a := goldenSpans()
+	b := []Span{a[2], a[0], a[1]}
+	var bufA, bufB bytes.Buffer
+	if err := WriteChromeTrace(&bufA, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&bufB, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("span input order leaked into the serialized trace")
+	}
+}

@@ -1,0 +1,135 @@
+package sccsim_test
+
+import (
+	"testing"
+
+	sccsim "scc"
+)
+
+// allreduceProgram is a small SPMD body whose numeric results and
+// virtual-time cost the metrics tests compare across configurations.
+func allreduceProgram(n int, out []float64, elapsed []sccsim.Duration) func(r *sccsim.Rank) {
+	return func(r *sccsim.Rank) {
+		src := r.AllocF64(n)
+		dst := r.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(r.ID()) + float64(i)*0.5
+		}
+		r.WriteF64s(src, v)
+		if err := r.Allreduce(src, dst, n); err != nil {
+			panic(err)
+		}
+		if r.ID() == 0 {
+			r.ReadF64s(dst, out)
+			elapsed[0] = r.Now()
+		}
+	}
+}
+
+// TestMetricsDoNotPerturbTiming builds the same system twice — once
+// plain, once with WithMetrics — runs the same program, and demands
+// identical numeric results and identical virtual-time behavior down to
+// the tick. This is the facade-level statement of the PR's invariant:
+// observability is free in simulated time.
+func TestMetricsDoNotPerturbTiming(t *testing.T) {
+	const n = 200
+	run := func(opts ...sccsim.Option) ([]float64, sccsim.Duration, sccsim.Duration) {
+		sys := sccsim.New(opts...)
+		out := make([]float64, n)
+		elapsed := make([]sccsim.Duration, 1)
+		if err := sys.Run(allreduceProgram(n, out, elapsed)); err != nil {
+			t.Fatal(err)
+		}
+		return out, elapsed[0], sys.Elapsed()
+	}
+	plainOut, plainNow, plainElapsed := run()
+	instOut, instNow, instElapsed := run(sccsim.WithMetrics())
+
+	if plainNow != instNow || plainElapsed != instElapsed {
+		t.Errorf("virtual time diverged: plain (now %v, elapsed %v) vs metrics (now %v, elapsed %v)",
+			plainNow, plainElapsed, instNow, instElapsed)
+	}
+	for i := range plainOut {
+		if plainOut[i] != instOut[i] {
+			t.Fatalf("result[%d] diverged: %v vs %v", i, plainOut[i], instOut[i])
+		}
+	}
+}
+
+func TestMetricsSnapshotContents(t *testing.T) {
+	const n = 200
+	sys := sccsim.New(sccsim.WithMetrics())
+	out := make([]float64, n)
+	elapsed := make([]sccsim.Duration, 1)
+	res, err := sys.RunResult(allreduceProgram(n, out, elapsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed() != sys.Elapsed() {
+		t.Errorf("Result.Elapsed %v != System.Elapsed %v after a first run", res.Elapsed(), sys.Elapsed())
+	}
+	m := res.Metrics()
+	if m == nil {
+		t.Fatal("Result.Metrics is nil despite WithMetrics")
+	}
+	if len(m.Cores) != sys.NumCores() {
+		t.Fatalf("snapshot has %d core rows, want %d", len(m.Cores), sys.NumCores())
+	}
+	if m.Totals.Counters["mpb-writes"] == 0 {
+		t.Error("an allreduce recorded no MPB writes")
+	}
+	if m.Totals.Phases["transfer"] == 0 {
+		t.Error("an allreduce recorded no transfer time")
+	}
+	if len(m.Collectives) == 0 {
+		t.Error("no per-collective breakdown recorded")
+	}
+	var attributed int64
+	for _, v := range m.Totals.Phases {
+		attributed += v
+	}
+	// Phases are disjoint; their sum cannot exceed cores * elapsed.
+	if budget := int64(sys.Elapsed()) * int64(sys.NumCores()); attributed > budget {
+		t.Errorf("attributed phase time %d exceeds the chip's total time budget %d", attributed, budget)
+	}
+}
+
+func TestMetricsNilWithoutOption(t *testing.T) {
+	sys := sccsim.New()
+	if sys.Metrics() != nil {
+		t.Error("Metrics non-nil without WithMetrics")
+	}
+	res, err := sys.RunResult(func(r *sccsim.Rank) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics() != nil {
+		t.Error("Result.Metrics non-nil without WithMetrics")
+	}
+}
+
+// TestMetricsSnapshotsIndependent verifies that a snapshot is a frozen
+// copy: a second run keeps counting in the registry without mutating
+// the snapshot already taken.
+func TestMetricsSnapshotsIndependent(t *testing.T) {
+	const n = 64
+	sys := sccsim.New(sccsim.WithMetrics())
+	out := make([]float64, n)
+	elapsed := make([]sccsim.Duration, 1)
+	if err := sys.Run(allreduceProgram(n, out, elapsed)); err != nil {
+		t.Fatal(err)
+	}
+	first := sys.Metrics()
+	firstWrites := first.Totals.Counters["mpb-writes"]
+	if err := sys.Run(allreduceProgram(n, out, elapsed)); err != nil {
+		t.Fatal(err)
+	}
+	second := sys.Metrics()
+	if first.Totals.Counters["mpb-writes"] != firstWrites {
+		t.Error("second run mutated the first snapshot")
+	}
+	if second.Totals.Counters["mpb-writes"] <= firstWrites {
+		t.Error("registry stopped accumulating after the first snapshot")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"scc/internal/core"
 	"scc/internal/fault"
+	"scc/internal/metrics"
 	"scc/internal/rcce"
 	"scc/internal/rckmpi"
 	"scc/internal/scc"
@@ -169,6 +170,13 @@ func AlgorithmNames(op string) []string {
 	return core.AlgorithmNames(k)
 }
 
+// Metrics is a frozen snapshot of a System's hardware and protocol
+// counters: per-core time split by protocol phase, MPB and cache event
+// counts, per-mesh-link utilization and per-collective breakdowns. It
+// marshals to JSON directly and renders itself with WriteJSON, WriteCSV
+// and WriteTable.
+type Metrics = metrics.Snapshot
+
 // config collects construction options.
 type config struct {
 	model    *timing.Model
@@ -176,6 +184,7 @@ type config struct {
 	faults   *fault.Plan
 	recovery *rcce.Policy
 	selector core.Selector
+	metrics  bool
 }
 
 // Option customizes a System.
@@ -225,6 +234,14 @@ func WithSelector(sel Selector) Option { return func(c *config) { c.selector = s
 // WithSelector(Tuned()).
 func WithTuned() Option { return WithSelector(Tuned()) }
 
+// WithMetrics attaches a metrics registry to the chip: every run then
+// counts MPB traffic, cache events, flag synchronization, mesh-link
+// utilization and the per-phase time split, retrievable with
+// System.Metrics or Result.Metrics. Collection only reads simulator
+// state and never adds simulated work, so enabling it changes no
+// virtual-time result (pinned down by TestMetricsDoNotPerturbTiming).
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
 // WithRecovery runs the selected stack over the hardened protocol
 // (sequence numbers, checksums, bounded waits, retransmit with backoff):
 // collectives then return errors instead of hanging when faults exceed
@@ -249,6 +266,9 @@ func New(opts ...Option) *System {
 		o(&cfg)
 	}
 	chip := scc.New(cfg.model)
+	if cfg.metrics {
+		chip.SetMetrics(metrics.New(chip.NumCores()))
+	}
 	if cfg.faults != nil {
 		fault.Install(chip, cfg.faults)
 	}
@@ -277,6 +297,41 @@ func (s *System) Run(program func(r *Rank)) error {
 
 // Elapsed reports the chip's virtual time.
 func (s *System) Elapsed() Duration { return s.chip.Now() }
+
+// Metrics returns a snapshot of everything counted so far, or nil when
+// the System was built without WithMetrics. Snapshots are independent:
+// taking one does not reset the counters, and later runs do not mutate
+// snapshots already taken.
+func (s *System) Metrics() *Metrics {
+	reg := s.chip.Metrics()
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot()
+}
+
+// Result describes one completed RunResult call.
+type Result struct {
+	elapsed Duration
+	metrics *Metrics
+}
+
+// Elapsed is the virtual time the program took (from launch to the last
+// core going idle), excluding any earlier runs on the same System.
+func (r *Result) Elapsed() Duration { return r.elapsed }
+
+// Metrics is the cumulative metrics snapshot taken right after the run,
+// or nil without WithMetrics.
+func (r *Result) Metrics() *Metrics { return r.metrics }
+
+// RunResult is Run plus measurement: it executes the program and
+// returns how long it took in virtual time together with a metrics
+// snapshot (when WithMetrics is active). The error is Run's error.
+func (s *System) RunResult(program func(r *Rank)) (*Result, error) {
+	t0 := s.chip.Now()
+	err := s.Run(program)
+	return &Result{elapsed: s.chip.Now() - t0, metrics: s.Metrics()}, err
+}
 
 // Rank is the per-core handle inside a Run program: private memory,
 // compute-time charging, and the collective operations of the selected
