@@ -14,6 +14,7 @@
 //	sccbench -op allreduce -algo recdouble      # pin one registry algorithm
 //	sccbench -tune                              # tuner sweep -> decision table JSON
 //	sccbench -selfbench                         # host-throughput report -> BENCH_sim.json
+//	sccbench -gate BENCH_sim.json               # fail on >15% perf regression vs the report
 //	sccbench -op all -cpuprofile cpu.pprof      # profile the simulator itself
 //	sccbench -op allreduce -metrics             # instrumented run -> counter table
 //	sccbench -op allreduce -metrics -metricsout m.json -tracejson t.json
@@ -50,6 +51,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
 	selfbench := flag.Bool("selfbench", false, "measure the simulator's own host throughput and write the report")
 	benchout := flag.String("benchout", "BENCH_sim.json", "self-benchmark report path (with -selfbench)")
+	gate := flag.String("gate", "", "run the self-benchmark and fail if ns_per_op or allocs_per_op regresses past -gate-tol vs this baseline report (no report is written)")
+	gateTol := flag.Float64("gate-tol", 0.15, "fractional regression slack for -gate (0.15 = 15%)")
+	gateRuns := flag.Int("gate-runs", 3, "best-of-N retries for -gate: wall clock is one-sidedly noisy, so any clean run passes")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	metricsOn := flag.Bool("metrics", false, "run one instrumented measurement (op at -lo doubles) and report its metrics")
@@ -150,6 +154,38 @@ func main() {
 			fmt.Printf("wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *tracejson)
 		}
 		exit(0)
+	}
+
+	if *gate != "" {
+		f, err := os.Open(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		baseline, err := bench.ReadSelfBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		var violations []string
+		for attempt := 1; attempt <= *gateRuns; attempt++ {
+			results := bench.SelfBench(model, *parallel)
+			for _, r := range results {
+				fmt.Printf("  %-20s %12.1f ns/op  %8.1f allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+			}
+			violations = bench.GateSelfBench(baseline, results, *gateTol)
+			if len(violations) == 0 {
+				fmt.Printf("perf gate passed (attempt %d/%d): no metric regressed more than %.0f%% vs %s\n",
+					attempt, *gateRuns, *gateTol*100, *gate)
+				exit(0)
+			}
+			fmt.Printf("attempt %d/%d regressed; %d violation(s)\n", attempt, *gateRuns, len(violations))
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "sccbench: perf regression:", v)
+		}
+		exit(1)
 	}
 
 	if *selfbench {

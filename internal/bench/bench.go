@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"scc/internal/core"
 	"scc/internal/rcce"
@@ -17,6 +18,40 @@ import (
 	"scc/internal/simtime"
 	"scc/internal/timing"
 )
+
+// stagePool recycles the per-core input-staging vectors across sweep
+// cells (48 per cell otherwise). sync.Pool keeps it safe under the
+// parallel runner's worker pool.
+var stagePool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getStage returns a pooled vector of length n; return it with putStage.
+func getStage(n int) *[]float64 {
+	vp := stagePool.Get().(*[]float64)
+	if cap(*vp) < n {
+		*vp = make([]float64, n)
+	}
+	*vp = (*vp)[:n]
+	return vp
+}
+
+func putStage(vp *[]float64) { stagePool.Put(vp) }
+
+// repPool recycles the per-cell repetition-latency buffers.
+var repPool = sync.Pool{New: func() any { return new([]simtime.Duration) }}
+
+func getReps(n int) *[]simtime.Duration {
+	rp := repPool.Get().(*[]simtime.Duration)
+	if cap(*rp) < n {
+		*rp = make([]simtime.Duration, n)
+	}
+	*rp = (*rp)[:n]
+	for i := range *rp {
+		(*rp)[i] = 0
+	}
+	return rp
+}
+
+func putReps(rp *[]simtime.Duration) { repPool.Put(rp) }
 
 // Op names one collective operation, matching the paper's Fig. 9 panels.
 type Op string
@@ -109,7 +144,8 @@ func Measure(model *timing.Model, op Op, st Stack, n, reps int) simtime.Duration
 	}
 	chip := scc.New(model)
 	comm := rcce.NewComm(chip)
-	perRep := make([]simtime.Duration, reps)
+	rp := getReps(reps)
+	perRep := *rp
 	chip.Launch(func(c *scc.Core) {
 		runCollectiveProgram(c, comm, op, st, n, reps, perRep)
 	})
@@ -120,6 +156,7 @@ func Measure(model *timing.Model, op Op, st Stack, n, reps int) simtime.Duration
 	for _, d := range perRep {
 		total += d
 	}
+	putReps(rp)
 	return total / simtime.Time(reps)
 }
 
@@ -144,11 +181,13 @@ func runCollectiveProgram(c *scc.Core, comm *rcce.Comm, op Op, st Stack, n, reps
 	big := n * p
 	src := c.AllocF64(big)
 	dst := c.AllocF64(big)
-	v := make([]float64, big)
+	vp := getStage(big)
+	v := *vp
 	for i := range v {
 		v[i] = float64(c.ID) + float64(i)*0.001
 	}
 	c.WriteF64s(src, v)
+	putStage(vp) // staged into simulated memory; the host copy is done
 
 	runOnce := func() {
 		if st.RCKMPI {
@@ -167,6 +206,9 @@ func runCollectiveProgram(c *scc.Core, comm *rcce.Comm, op Op, st Stack, n, reps
 		if c.ID == 0 {
 			perRep[r] = c.Now() - t0
 		}
+	}
+	if x != nil {
+		x.Release()
 	}
 }
 

@@ -131,3 +131,44 @@ func WriteSelfBench(w io.Writer, results []SelfBenchResult) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
 }
+
+// ReadSelfBench parses a report written by WriteSelfBench.
+func ReadSelfBench(r io.Reader) ([]SelfBenchResult, error) {
+	var results []SelfBenchResult
+	if err := json.NewDecoder(r).Decode(&results); err != nil {
+		return nil, fmt.Errorf("bench: parsing self-benchmark report: %w", err)
+	}
+	return results, nil
+}
+
+// GateSelfBench compares a fresh report against a committed baseline and
+// returns one violation per entry whose ns_per_op or allocs_per_op
+// regressed by more than tol (0.15 = 15% slack). Entries present in only
+// one report are ignored, so the benchmark set can evolve; a baseline
+// value of zero gates on an absolute slack of 1 instead of a ratio.
+func GateSelfBench(baseline, current []SelfBenchResult, tol float64) []string {
+	base := make(map[string]SelfBenchResult, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var violations []string
+	check := func(name, metric string, old, now float64) {
+		limit := old * (1 + tol)
+		if old <= 0 {
+			limit = 1
+		}
+		if now > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: %s regressed %.1f -> %.1f (limit %.1f)", name, metric, old, now, limit))
+		}
+	}
+	for _, r := range current {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		check(r.Name, "ns_per_op", b.NsPerOp, r.NsPerOp)
+		check(r.Name, "allocs_per_op", b.AllocsPerOp, r.AllocsPerOp)
+	}
+	return violations
+}

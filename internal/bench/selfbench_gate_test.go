@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGateSelfBench(t *testing.T) {
+	baseline := []SelfBenchResult{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "b", NsPerOp: 200, AllocsPerOp: 0},
+		{Name: "gone", NsPerOp: 1, AllocsPerOp: 1},
+	}
+	current := []SelfBenchResult{
+		{Name: "a", NsPerOp: 114, AllocsPerOp: 10},  // within 15%
+		{Name: "b", NsPerOp: 200, AllocsPerOp: 0.5}, // zero baseline: absolute slack 1
+		{Name: "new", NsPerOp: 9999, AllocsPerOp: 9999},
+	}
+	if v := GateSelfBench(baseline, current, 0.15); len(v) != 0 {
+		t.Fatalf("expected clean gate, got %v", v)
+	}
+
+	current[0].NsPerOp = 116 // past 15%
+	current[1].AllocsPerOp = 1.5
+	v := GateSelfBench(baseline, current, 0.15)
+	if len(v) != 2 {
+		t.Fatalf("expected 2 violations, got %v", v)
+	}
+	if !strings.Contains(v[0], "a: ns_per_op") || !strings.Contains(v[1], "b: allocs_per_op") {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestSelfBenchRoundTrip(t *testing.T) {
+	in := []SelfBenchResult{{Name: "x", Ops: 3, NsPerOp: 1.5, AllocsPerOp: 2, WallMs: 0.1}}
+	var buf bytes.Buffer
+	if err := WriteSelfBench(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSelfBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

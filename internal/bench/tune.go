@@ -128,7 +128,8 @@ func MeasureAlgorithm(model *timing.Model, cfg core.Config, k core.OpKind, algo 
 		}
 		grp = g
 	}
-	perRep := make([]simtime.Duration, reps)
+	rp := getReps(reps)
+	perRep := *rp
 	applicable := true
 	chip.Launch(func(c *scc.Core) {
 		if c.ID >= np {
@@ -149,11 +150,13 @@ func MeasureAlgorithm(model *timing.Model, cfg core.Config, k core.OpKind, algo 
 		}
 		src := c.AllocF64(n)
 		dst := c.AllocF64(n)
-		v := make([]float64, n)
+		vp := getStage(n)
+		v := *vp
 		for i := range v {
 			v[i] = float64(c.ID) + float64(i)*0.001
 		}
 		c.WriteF64s(src, v)
+		putStage(vp)
 		runOnce := func() {
 			var err error
 			switch k {
@@ -180,17 +183,20 @@ func MeasureAlgorithm(model *timing.Model, cfg core.Config, k core.OpKind, algo 
 				perRep[r] = c.Now() - t0
 			}
 		}
+		x.Release()
 	})
 	if err := chip.Run(); err != nil {
 		panic(fmt.Sprintf("bench: tune %s[%s] np=%d n=%d: %v", k, algo, np, n, err))
 	}
 	if !applicable {
+		putReps(rp)
 		return 0, false
 	}
 	var total simtime.Duration
 	for _, d := range perRep {
 		total += d
 	}
+	putReps(rp)
 	return total / simtime.Time(reps), true
 }
 

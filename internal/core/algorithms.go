@@ -30,7 +30,7 @@ func (ringAlg) Applicable(x *Ctx, n int) bool { return true }
 func (ringAlg) Allreduce(x *Ctx, src, dst scc.Addr, n int, op Op) error {
 	p := x.np()
 	me := x.rank()
-	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	blocks := x.partitionFor(n, p, x.cfg.Balanced)
 	// Reduce-scatter phase, with my block landing directly in dst.
 	x.ensureScratch(maxBlockLen(blocks))
 	if _, err := x.ReduceScatter(src, dst+scc.Addr(8*blocks[me].Off), n, op); err != nil {
@@ -47,7 +47,7 @@ func (ringAlg) Broadcast(x *Ctx, root int, addr scc.Addr, n int) error {
 	}
 	p := x.np()
 	me := x.rank()
-	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	blocks := x.partitionFor(n, p, x.cfg.Balanced)
 	// Scatter phase: the root ships block q to rank q.
 	if me == rootR {
 		for q := 0; q < p; q++ {
@@ -75,7 +75,7 @@ func (ringAlg) Reduce(x *Ctx, root int, src, dst scc.Addr, n int, op Op) error {
 	}
 	p := x.np()
 	me := x.rank()
-	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	blocks := x.partitionFor(n, p, x.cfg.Balanced)
 	var blockDst scc.Addr
 	if me == rootR {
 		blockDst = dst + scc.Addr(8*blocks[me].Off)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"scc/internal/rcce"
 	"scc/internal/scc"
@@ -96,11 +97,83 @@ type Ctx struct {
 	// scratch private-memory vectors for ring partials, sized lazily.
 	curAddr, rbufAddr scc.Addr
 	scratchLen        int
+
+	// Reusable host-side scratch for the reduction steps: vecA/vecB back
+	// reduceInto and copyPriv, gatherBuf backs the MPB-direct phase-2
+	// staging, blocksBuf backs Allgather's uniform partition. Reuse is
+	// safe because a Ctx runs one collective step at a time.
+	vecA, vecB []float64
+	gatherBuf  []float64
+	blocksBuf  []Block
+
+	// Memoized partition: collectives over the same shape (the common
+	// case — every rep of a sweep cell) share one read-only block list.
+	// Safe because Block slices are never mutated after construction.
+	partBuf      []Block
+	partN, partP int
+	partBal      bool
+
+	// scrNode holds the pool wrapper this context's scratch came from,
+	// so Release can return it without allocating.
+	scrNode *ctxScratch
+}
+
+// ctxScratch bundles a retired context's host-side scratch buffers for
+// reuse by the next Ctx (see Release). Pooling is what keeps a sweep —
+// one fresh chip and one fresh Ctx per core per cell — allocation-free
+// in the steady state.
+type ctxScratch struct {
+	vecA, vecB, gatherBuf []float64
+	blocksBuf, partBuf    []Block
+}
+
+var ctxScratchPool sync.Pool
+
+// adoptScratch seeds a new context with pooled scratch, if any.
+func (x *Ctx) adoptScratch() {
+	s, ok := ctxScratchPool.Get().(*ctxScratch)
+	if !ok {
+		return
+	}
+	x.vecA, x.vecB, x.gatherBuf = s.vecA, s.vecB, s.gatherBuf
+	x.blocksBuf, x.partBuf = s.blocksBuf, s.partBuf
+	*s = ctxScratch{}
+	x.scrNode = s
+}
+
+// Release returns the context's scratch buffers to a shared pool for
+// reuse by future contexts. The context must not be used afterwards.
+// Calling Release is optional; an unreleased context's buffers are
+// simply garbage collected.
+func (x *Ctx) Release() {
+	s := x.scrNode
+	if s == nil {
+		s = &ctxScratch{}
+	}
+	*s = ctxScratch{
+		vecA: x.vecA, vecB: x.vecB, gatherBuf: x.gatherBuf,
+		blocksBuf: x.blocksBuf, partBuf: x.partBuf,
+	}
+	x.vecA, x.vecB, x.gatherBuf = nil, nil, nil
+	x.blocksBuf, x.partBuf = nil, nil
+	x.partN, x.partP, x.partBal = 0, 0, false
+	x.scrNode = nil
+	ctxScratchPool.Put(s)
+}
+
+// scratchF64 returns (*buf)[:n], reallocating only when capacity grows.
+func scratchF64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
 }
 
 // NewCtx builds a collectives context for one UE, spanning all cores.
 func NewCtx(ue *rcce.UE, cfg Config) *Ctx {
-	return &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, scratchLen: -1}
+	x := &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, scratchLen: -1}
+	x.adoptScratch()
+	return x
 }
 
 // NewCtxGroup builds a collectives context restricted to a group (the
@@ -113,7 +186,9 @@ func NewCtxGroup(ue *rcce.UE, cfg Config, g *Group) (*Ctx, error) {
 	if !g.Contains(ue.ID()) {
 		return nil, fmt.Errorf("core: %w: core %d is not a member of the group", ErrInvalid, ue.ID())
 	}
-	return &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, grp: g, scratchLen: -1}, nil
+	x := &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, grp: g, scratchLen: -1}
+	x.adoptScratch()
+	return x, nil
 }
 
 // UE returns the underlying unit of execution.
@@ -172,6 +247,21 @@ func checkCount(fn string, n int) error {
 	return nil
 }
 
+// partitionFor returns the (read-only) partition for the given shape,
+// reusing the previous result when the shape is unchanged.
+func (x *Ctx) partitionFor(n, p int, balanced bool) []Block {
+	if x.partBuf != nil && x.partN == n && x.partP == p && x.partBal == balanced {
+		return x.partBuf
+	}
+	if cap(x.partBuf) < p {
+		x.partBuf = make([]Block, p)
+	}
+	x.partBuf = x.partBuf[:p]
+	partitionInto(x.partBuf, n, balanced)
+	x.partN, x.partP, x.partBal = n, p, balanced
+	return x.partBuf
+}
+
 // ensureScratch sizes the two ring scratch vectors to at least n
 // elements.
 func (x *Ctx) ensureScratch(n int) {
@@ -204,8 +294,8 @@ func (x *Ctx) reduceInto(dst, a, b scc.Addr, n int, op Op) {
 		return
 	}
 	core := x.ue.Core()
-	va := make([]float64, n)
-	vb := make([]float64, n)
+	va := scratchF64(&x.vecA, n)
+	vb := scratchF64(&x.vecB, n)
 	core.ReadF64s(a, va)
 	core.ReadF64s(b, vb)
 	core.ComputeCycles(core.Chip().Model.ReducePerElementCoreCycles * int64(n))
@@ -221,7 +311,7 @@ func (x *Ctx) copyPriv(dst, src scc.Addr, n int) {
 		return
 	}
 	core := x.ue.Core()
-	v := make([]float64, n)
+	v := scratchF64(&x.vecA, n)
 	core.ReadF64s(src, v)
 	core.WriteF64s(dst, v)
 }
@@ -237,7 +327,7 @@ func (x *Ctx) ReduceScatter(src, dst scc.Addr, n int, op Op) ([]Block, error) {
 	}
 	p := x.np()
 	me := x.rank()
-	blocks := PartitionFor(n, p, x.cfg.Balanced)
+	blocks := x.partitionFor(n, p, x.cfg.Balanced)
 	if p == 1 {
 		x.copyPriv(dst, src, n)
 		return blocks, nil
@@ -359,7 +449,10 @@ func (x *Ctx) Allgather(src scc.Addr, nPer int, dst scc.Addr) error {
 	me := x.rank()
 	// Place my contribution, then ring-rotate contributions.
 	x.copyPriv(dst+scc.Addr(8*nPer*me), src, nPer)
-	blocks := make([]Block, p)
+	if cap(x.blocksBuf) < p {
+		x.blocksBuf = make([]Block, p)
+	}
+	blocks := x.blocksBuf[:p]
 	for i := range blocks {
 		blocks[i] = Block{Off: i * nPer, Len: nPer}
 	}

@@ -36,7 +36,7 @@ type mpbRing struct {
 	waited    [2]int
 }
 
-func newMPBRing(ue *rcce.UE) *mpbRing {
+func newMPBRing(ue *rcce.UE) mpbRing {
 	comm := ue.Comm()
 	p := ue.NumUEs()
 	me := ue.ID()
@@ -45,7 +45,7 @@ func newMPBRing(ue *rcce.UE) *mpbRing {
 	line := ue.Core().Chip().Model.CacheLineBytes
 	half = half / line * line
 	left, right := mod(me-1, p), mod(me+1, p)
-	return &mpbRing{
+	return mpbRing{
 		ue:    ue,
 		left:  left,
 		right: right,
@@ -137,7 +137,7 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) error {
 	m := core.Chip().Model
 	p := ue.NumUEs()
 	me := ue.ID()
-	blocks := PartitionFor(n, p, true) // Sec. IV-D builds on all prior optimizations
+	blocks := x.partitionFor(n, p, true) // Sec. IV-D builds on all prior optimizations
 	if p == 1 {
 		x.copyPriv(dst, src, n)
 		return nil
@@ -195,7 +195,7 @@ func (x *Ctx) allreduceMPB(src, dst scc.Addr, n int, op Op) error {
 	// Round g: the left neighbor's buffer (B+g)%2 holds block
 	// (me-1-g); I copy it into my buffer (B+g+1)%2 (to forward) and
 	// into my private dst. The final round needs no forwarding.
-	buf := make([]float64, maxBlockLen(blocks))
+	buf := scratchF64(&x.gatherBuf, maxBlockLen(blocks))
 	for g := 0; g < p-1; g++ {
 		core.OverheadCycles(roundSoftware)
 		b := (finalBuf + g) % 2

@@ -25,16 +25,35 @@ func Partition(n, p int) []Block {
 	if n < 0 {
 		panic("core: partition of negative length")
 	}
-	base := n / p
-	first := base + n%p
 	blocks := make([]Block, p)
-	blocks[0] = Block{Off: 0, Len: first}
-	off := first
-	for i := 1; i < p; i++ {
-		blocks[i] = Block{Off: off, Len: base}
-		off += base
-	}
+	partitionInto(blocks, n, false)
 	return blocks
+}
+
+// partitionInto fills blocks (one per target) in place, using the RCCE
+// layout (balanced=false) or the paper's balanced layout (Fig. 6b).
+func partitionInto(blocks []Block, n int, balanced bool) {
+	p := len(blocks)
+	base := n / p
+	extra := n % p
+	if !balanced {
+		blocks[0] = Block{Off: 0, Len: base + extra}
+		off := base + extra
+		for i := 1; i < p; i++ {
+			blocks[i] = Block{Off: off, Len: base}
+			off += base
+		}
+		return
+	}
+	off := 0
+	for i := range blocks {
+		l := base
+		if i < extra {
+			l++
+		}
+		blocks[i] = Block{Off: off, Len: l}
+		off += l
+	}
 }
 
 // PartitionBalanced splits n elements over p blocks the paper's way
@@ -48,18 +67,8 @@ func PartitionBalanced(n, p int) []Block {
 	if n < 0 {
 		panic("core: partition of negative length")
 	}
-	base := n / p
-	extra := n % p
 	blocks := make([]Block, p)
-	off := 0
-	for i := range blocks {
-		l := base
-		if i < extra {
-			l++
-		}
-		blocks[i] = Block{Off: off, Len: l}
-		off += l
-	}
+	partitionInto(blocks, n, true)
 	return blocks
 }
 

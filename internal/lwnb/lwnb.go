@@ -26,13 +26,17 @@ func Costs(m *timing.Model) rcce.NBCosts {
 }
 
 // Lib is a per-UE instance of the lightweight library. Its two slots are
-// the entire request state.
+// the entire request state: reposting overwrites the slot record in
+// place (the modeled library's "no dynamic memory" discipline taken
+// literally), so a returned *Request is valid until the next post of
+// the same direction.
 type Lib struct {
 	ue    *rcce.UE
 	costs rcce.NBCosts
 
-	sendSlot *rcce.Request
-	recvSlot *rcce.Request
+	sendReq, recvReq rcce.Request
+	sendSlot         *rcce.Request // nil until first ISend, then &sendReq
+	recvSlot         *rcce.Request // nil until first IRecv, then &recvReq
 }
 
 // New creates the library instance for one UE.
@@ -64,7 +68,7 @@ func (l *Lib) ISend(dest int, addr scc.Addr, nBytes int) *rcce.Request {
 	if l.sendSlot != nil && !l.sendSlot.Done() {
 		panic(fmt.Sprintf("lwnb: UE %d posted a second concurrent send", l.ue.ID()))
 	}
-	r := l.ue.PostSend(l.costs, dest, addr, nBytes)
+	r := l.ue.PostSendInto(&l.sendReq, l.costs, dest, addr, nBytes)
 	l.sendSlot = r
 	l.observeOutstanding()
 	return r
@@ -75,7 +79,7 @@ func (l *Lib) IRecv(src int, addr scc.Addr, nBytes int) *rcce.Request {
 	if l.recvSlot != nil && !l.recvSlot.Done() {
 		panic(fmt.Sprintf("lwnb: UE %d posted a second concurrent receive", l.ue.ID()))
 	}
-	r := l.ue.PostRecv(l.costs, src, addr, nBytes)
+	r := l.ue.PostRecvInto(&l.recvReq, l.costs, src, addr, nBytes)
 	l.recvSlot = r
 	l.observeOutstanding()
 	return r

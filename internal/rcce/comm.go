@@ -100,15 +100,20 @@ func (c *Comm) DataBytes() int {
 }
 
 // UE returns the unit-of-execution handle for a core. Call from inside
-// the core's simulated program.
+// the core's simulated program. The four per-peer protocol counters
+// share one flat backing array (indexed by peer ID) instead of four
+// heap maps: one allocation per UE, O(1) lookups, and no map churn on
+// the hot path.
 func (c *Comm) UE(coreID int) *UE {
+	p := c.NumUEs()
+	state := make([]byte, 4*p)
 	return &UE{
 		comm:       c,
 		core:       c.chip.Cores[coreID],
-		barrierGen: make(map[int]byte),
-		groupGen:   make(map[int]byte),
-		sendSeq:    make(map[int]byte),
-		recvSeq:    make(map[int]byte),
+		barrierGen: state[0*p : 1*p],
+		groupGen:   state[1*p : 2*p],
+		sendSeq:    state[2*p : 3*p],
+		recvSeq:    state[3*p : 4*p],
 	}
 }
 
@@ -121,8 +126,10 @@ type UE struct {
 	// barrierGen tracks the barrier generation per root so barriers are
 	// reusable without extra clearing round trips; dissemGen does the
 	// same for the dissemination barrier, groupGen for group barriers.
-	barrierGen map[int]byte
-	groupGen   map[int]byte
+	// All four byte slices below are views into one shared backing
+	// array, indexed by peer core ID.
+	barrierGen []byte
+	groupGen   []byte
 	dissemGen  byte
 
 	// activeSend is the send request currently occupying the core's MPB
@@ -132,9 +139,35 @@ type UE struct {
 	// sendSeq / recvSeq hold the hardened protocol's next sequence
 	// number per peer (see robust.go); stats accumulates its recovery
 	// counters.
-	sendSeq map[int]byte
-	recvSeq map[int]byte
+	sendSeq []byte
+	recvSeq []byte
 	stats   RecoveryStats
+
+	// stage is the UE's staging arena for Put/Get: a core moves at most
+	// one message chunk at a time, so one reusable buffer replaces the
+	// per-call make([]byte, nBytes).
+	stage []byte
+
+	// Scratch for the request engine's WaitAll rounds and the robust
+	// path's multi-op wait (see nonblocking.go, robust.go). Safe to
+	// reuse because these loops never nest within one UE.
+	waitFlags  []int
+	waitPend   []*Request
+	robustOffs []int
+	robustPend []*robustOp
+	// opSend/opRecv are the robust-op storage reused by SendRobust /
+	// RecvRobust / ExchangeRobust, with opsBuf the argument slice.
+	opSend, opRecv robustOp
+	opsBuf         [2]*robustOp
+}
+
+// scratch returns the staging arena resized to n bytes, reallocating
+// only when the requested size exceeds the current capacity.
+func (u *UE) scratch(n int) []byte {
+	if cap(u.stage) < n {
+		u.stage = make([]byte, n)
+	}
+	return u.stage[:n]
 }
 
 // ID returns the UE's rank (== core ID).
@@ -174,7 +207,7 @@ func (u *UE) Put(privAddr scc.Addr, mpbOff, nBytes int) {
 	if u.core.Tracing() || reg != nil {
 		t0 = u.core.Now()
 	}
-	buf := make([]byte, nBytes)
+	buf := u.scratch(nBytes)
 	u.core.OverheadCycles(m.PutLineCoreCycles * int64(m.Lines(nBytes)))
 	u.readPriv(privAddr, buf)
 	u.core.MPBWrite(mpbOff, buf)
@@ -196,7 +229,7 @@ func (u *UE) Get(mpbOff int, privAddr scc.Addr, nBytes int) {
 	if u.core.Tracing() || reg != nil {
 		t0 = u.core.Now()
 	}
-	buf := make([]byte, nBytes)
+	buf := u.scratch(nBytes)
 	u.core.OverheadCycles(m.GetLineCoreCycles * int64(m.Lines(nBytes)))
 	u.core.MPBRead(mpbOff, buf)
 	u.writePriv(privAddr, buf)
@@ -245,7 +278,8 @@ func (u *UE) Send(dest int, addr scc.Addr, nBytes int) {
 		u.core.SetFlag(sent, 1)
 		u.core.WaitFlag(ready, 1)
 		u.core.SetFlag(ready, 0) // clear ready (local line)
-		u.core.Note(fmt.Sprintf("send->%02d: %d/%d B acked", dest, off+n, nBytes))
+		u.core.Note(simtime.Note3("send->%02d: %d/%d B acked",
+			int64(dest), int64(off+n), int64(nBytes)))
 		if nBytes == 0 {
 			break
 		}
@@ -278,7 +312,8 @@ func (u *UE) Recv(src int, addr scc.Addr, nBytes int) {
 		u.core.SetFlag(sent, 0) // clear sent (local line)
 		u.Get(u.comm.DataBase(src), addr+scc.Addr(off), n)
 		u.core.SetFlag(ready, 1)
-		u.core.Note(fmt.Sprintf("recv<-%02d: %d/%d B consumed", src, off+n, nBytes))
+		u.core.Note(simtime.Note3("recv<-%02d: %d/%d B consumed",
+			int64(src), int64(off+n), int64(nBytes)))
 		if nBytes == 0 {
 			break
 		}

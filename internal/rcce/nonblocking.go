@@ -93,6 +93,14 @@ func (r *Request) Peer() int { return r.peer }
 // receiver. Completion (the ready flag, plus any further chunks) happens
 // in Wait/WaitAll.
 func (u *UE) PostSend(costs NBCosts, dest int, addr scc.Addr, nBytes int) *Request {
+	return u.PostSendInto(new(Request), costs, dest, addr, nBytes)
+}
+
+// PostSendInto is PostSend with caller-owned request storage: r is
+// overwritten and returned, so fixed-slot libraries (package lwnb)
+// repost into the same record without allocating. The previous contents
+// of r must not be an in-flight request.
+func (u *UE) PostSendInto(r *Request, costs NBCosts, dest int, addr scc.Addr, nBytes int) *Request {
 	if dest == u.ID() {
 		panic(fmt.Sprintf("rcce: UE %d isend to itself", dest))
 	}
@@ -110,7 +118,7 @@ func (u *UE) PostSend(costs NBCosts, dest int, addr scc.Addr, nBytes int) *Reque
 	if reg := u.core.Metrics(); reg != nil {
 		reg.Count(u.core.ID, metrics.CtrReqsPosted)
 	}
-	r := &Request{kind: ReqSend, ue: u, peer: dest, addr: addr, n: nBytes}
+	*r = Request{kind: ReqSend, ue: u, peer: dest, addr: addr, n: nBytes}
 	r.stageChunk()
 	u.activeSend = r
 	return r
@@ -120,6 +128,12 @@ func (u *UE) PostSend(costs NBCosts, dest int, addr scc.Addr, nBytes int) *Reque
 // already staged, the data is consumed immediately (and the request may
 // complete on the spot); otherwise completion happens in Wait/WaitAll.
 func (u *UE) PostRecv(costs NBCosts, src int, addr scc.Addr, nBytes int) *Request {
+	return u.PostRecvInto(new(Request), costs, src, addr, nBytes)
+}
+
+// PostRecvInto is PostRecv with caller-owned request storage (see
+// PostSendInto).
+func (u *UE) PostRecvInto(r *Request, costs NBCosts, src int, addr scc.Addr, nBytes int) *Request {
 	if src == u.ID() {
 		panic(fmt.Sprintf("rcce: UE %d irecv from itself", src))
 	}
@@ -128,7 +142,7 @@ func (u *UE) PostRecv(costs NBCosts, src int, addr scc.Addr, nBytes int) *Reques
 	if reg := u.core.Metrics(); reg != nil {
 		reg.Count(u.core.ID, metrics.CtrReqsPosted)
 	}
-	r := &Request{kind: ReqRecv, ue: u, peer: src, addr: addr, n: nBytes}
+	*r = Request{kind: ReqRecv, ue: u, peer: src, addr: addr, n: nBytes}
 	// Opportunistic probe, like iRCCE_irecv's immediate push.
 	r.tryProgress(costs)
 	return r
@@ -215,11 +229,12 @@ func (u *UE) WaitAll(costs NBCosts, reqs ...*Request) {
 			panic("rcce: WaitAll on a foreign UE's request")
 		}
 	}
-	var flags []int
-	var pending []*Request
+	// The round scratch lives on the UE: WaitAll cannot nest within one
+	// UE (the PostSendInto drain happens before any wait), so reuse is
+	// safe and the steady state allocates nothing.
 	for {
-		flags = flags[:0]
-		pending = pending[:0]
+		flags := u.waitFlags[:0]
+		pending := u.waitPend[:0]
 		for _, r := range reqs {
 			if r == nil || r.done {
 				continue
@@ -227,6 +242,7 @@ func (u *UE) WaitAll(costs NBCosts, reqs ...*Request) {
 			flags = append(flags, r.pendingFlag())
 			pending = append(pending, r)
 		}
+		u.waitFlags, u.waitPend = flags, pending
 		if len(pending) == 0 {
 			break
 		}

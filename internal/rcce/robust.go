@@ -144,7 +144,11 @@ type robustOp struct {
 	done     bool
 }
 
-func (u *UE) newRobustOp(kind ReqKind, costs NBCosts, pol Policy, peer int, addr scc.Addr, n int) *robustOp {
+// initRobustOp (re)initializes caller-owned op storage. The public
+// entry points pass the UE's opSend/opRecv fields, so a steady state of
+// robust transfers allocates no op records: a UE drives at most one
+// robust operation per direction at a time.
+func (u *UE) initRobustOp(r *robustOp, kind ReqKind, costs NBCosts, pol Policy, peer int, addr scc.Addr, n int) *robustOp {
 	if peer == u.ID() {
 		panic(fmt.Sprintf("rcce: UE %d robust %v with itself", peer, kind))
 	}
@@ -161,10 +165,11 @@ func (u *UE) newRobustOp(kind ReqKind, costs NBCosts, pol Policy, peer int, addr
 	if chunks < 1 {
 		chunks = 1
 	}
-	return &robustOp{
+	*r = robustOp{
 		u: u, pol: pol, costs: costs, kind: kind, peer: peer, addr: addr, n: n,
 		seq: seq, chunks: chunks, window: pol.Timeout,
 	}
+	return r
 }
 
 // Flag offsets. For a send, "sent" and the checksum live in the peer's
@@ -264,14 +269,14 @@ func (r *robustOp) completeChunk(n int) {
 	r.off += n
 	r.chunks--
 	seqm := u.sendSeq
-	verb := "sent"
+	verb := "robust sent %d/%d B peer %02d"
 	if r.kind == ReqRecv {
 		seqm = u.recvSeq
-		verb = "recvd"
+		verb = "robust recvd %d/%d B peer %02d"
 	}
 	r.seq = nextSeq(r.seq)
 	seqm[r.peer] = r.seq
-	u.core.Note(fmt.Sprintf("robust %s %d/%d B peer %02d", verb, r.off, r.n, r.peer))
+	u.core.Note(simtime.Note3(verb, int64(r.off), int64(r.n), int64(r.peer)))
 	if r.chunks == 0 {
 		r.done = true
 		return
@@ -369,7 +374,7 @@ func (r *robustOp) onTimeout() error {
 // core watches every pending op's flag with one bounded multi-flag wait
 // and advances whichever fires. This is what makes a full-duplex
 // exchange deadlock-free with a single simulated process per core.
-func (u *UE) runRobust(ops ...*robustOp) error {
+func (u *UE) runRobust(ops []*robustOp) error {
 	for _, r := range ops {
 		if r.kind == ReqSend {
 			r.stage()
@@ -382,22 +387,25 @@ func (u *UE) runRobust(ops ...*robustOp) error {
 			u.stats.Recovery += u.core.Now() - firstTimeout
 		}
 	}
-	var offs []int
-	var pend []*robustOp
+	// The per-round scratch lives on the UE (robust ops never nest
+	// within one UE), and the match predicate reads the UE field so one
+	// closure serves every round.
+	match := func(i int, val byte) bool { return u.robustPend[i].match(val) }
 	for {
-		offs = offs[:0]
-		pend = pend[:0]
+		u.robustOffs = u.robustOffs[:0]
+		u.robustPend = u.robustPend[:0]
 		var minDL simtime.Time = -1
 		for _, r := range ops {
 			if r.done {
 				continue
 			}
-			offs = append(offs, r.watchOff())
-			pend = append(pend, r)
+			u.robustOffs = append(u.robustOffs, r.watchOff())
+			u.robustPend = append(u.robustPend, r)
 			if minDL < 0 || r.deadline < minDL {
 				minDL = r.deadline
 			}
 		}
+		pend := u.robustPend
 		if len(pend) == 0 {
 			settle()
 			return nil
@@ -407,10 +415,7 @@ func (u *UE) runRobust(ops ...*robustOp) error {
 		if limit < 1 {
 			limit = 1
 		}
-		pendRef := pend
-		idx, v, ok := u.core.WaitFlagsMatch(offs, limit, func(i int, val byte) bool {
-			return pendRef[i].match(val)
-		})
+		idx, v, ok := u.core.WaitFlagsMatch(u.robustOffs, limit, match)
 		if ok {
 			pend[idx].advance(v)
 			continue
@@ -449,7 +454,8 @@ func (u *UE) SendRobust(costs NBCosts, pol Policy, dest int, addr scc.Addr, nByt
 	pol = pol.withDefaults()
 	u.core.OverheadCycles(costs.Post)
 	u.chargePartialLine(nBytes)
-	return u.runRobust(u.newRobustOp(ReqSend, costs, pol, dest, addr, nBytes))
+	u.opsBuf[0] = u.initRobustOp(&u.opSend, ReqSend, costs, pol, dest, addr, nBytes)
+	return u.runRobust(u.opsBuf[:1])
 }
 
 // RecvRobust receives nBytes from src with the hardened protocol.
@@ -457,7 +463,8 @@ func (u *UE) RecvRobust(costs NBCosts, pol Policy, src int, addr scc.Addr, nByte
 	pol = pol.withDefaults()
 	u.core.OverheadCycles(costs.Post)
 	u.chargePartialLine(nBytes)
-	return u.runRobust(u.newRobustOp(ReqRecv, costs, pol, src, addr, nBytes))
+	u.opsBuf[0] = u.initRobustOp(&u.opRecv, ReqRecv, costs, pol, src, addr, nBytes)
+	return u.runRobust(u.opsBuf[:1])
 }
 
 // ExchangeRobust runs a hardened send to dest and receive from src
@@ -468,10 +475,9 @@ func (u *UE) ExchangeRobust(costs NBCosts, pol Policy, dest int, sAddr scc.Addr,
 	u.core.OverheadCycles(2 * costs.Post)
 	u.chargePartialLine(sBytes)
 	u.chargePartialLine(rBytes)
-	return u.runRobust(
-		u.newRobustOp(ReqSend, costs, pol, dest, sAddr, sBytes),
-		u.newRobustOp(ReqRecv, costs, pol, src, rAddr, rBytes),
-	)
+	u.opsBuf[0] = u.initRobustOp(&u.opSend, ReqSend, costs, pol, dest, sAddr, sBytes)
+	u.opsBuf[1] = u.initRobustOp(&u.opRecv, ReqRecv, costs, pol, src, rAddr, rBytes)
+	return u.runRobust(u.opsBuf[:2])
 }
 
 // BarrierGroup synchronizes the given members (sorted core IDs, which
@@ -540,7 +546,7 @@ func (u *UE) barrierGroup(members []int, pol *Policy) error {
 		for _, p := range members[1:] {
 			u.core.SetFlag(u.comm.FlagAddr(p, root, FlagGroupRelease), gen)
 		}
-		u.core.Note(fmt.Sprintf("group barrier gen %d released", gen))
+		u.core.Note(simtime.Note1("group barrier gen %d released", int64(gen)))
 		return nil
 	}
 	arrive := u.comm.FlagAddr(root, u.ID(), FlagGroupArrive)
@@ -550,7 +556,7 @@ func (u *UE) barrierGroup(members []int, pol *Policy) error {
 		u.stats.Retransmits++
 	})
 	if err == nil {
-		u.core.Note(fmt.Sprintf("group barrier gen %d passed", gen))
+		u.core.Note(simtime.Note1("group barrier gen %d passed", int64(gen)))
 	}
 	return err
 }

@@ -29,6 +29,10 @@ import (
 // Lib is a per-UE RCKMPI instance.
 type Lib struct {
 	ue *rcce.UE
+	// winBuf is the channel's window staging buffer, sized to Window()
+	// on first use and reused across calls. Safe because a UE runs one
+	// blocking Send or Recv at a time.
+	winBuf []byte
 }
 
 // New creates the RCKMPI instance for one UE. It shares the chip's MPB
@@ -73,6 +77,14 @@ func (l *Lib) Window() int {
 	return w
 }
 
+// scratch returns the reusable window buffer, growing it if needed.
+func (l *Lib) scratch(n int) []byte {
+	if cap(l.winBuf) < n {
+		l.winBuf = make([]byte, n)
+	}
+	return l.winBuf[:n]
+}
+
 // Send transmits nBytes to dest through the RCKMPI channel (blocking
 // rendezvous through the MPB window, with byte-granular software costs:
 // no partial-line padding call, hence the smooth latency curve).
@@ -86,7 +98,7 @@ func (l *Lib) Send(dest int, addr scc.Addr, nBytes int) {
 	chunk := l.Window()
 	sent := comm.FlagAddr(dest, l.ue.ID(), rcce.FlagSent)
 	ready := comm.FlagAddr(l.ue.ID(), dest, rcce.FlagReady)
-	buf := make([]byte, chunk)
+	buf := l.scratch(chunk)
 	progress := l.core().Chip().Model.OverheadRCKMPICall / 16
 	for off := 0; off < nBytes || nBytes == 0; off += chunk {
 		n := nBytes - off
@@ -118,7 +130,7 @@ func (l *Lib) Recv(src int, addr scc.Addr, nBytes int) {
 	chunk := l.Window()
 	sent := comm.FlagAddr(l.ue.ID(), src, rcce.FlagSent)
 	ready := comm.FlagAddr(src, l.ue.ID(), rcce.FlagReady)
-	buf := make([]byte, chunk)
+	buf := l.scratch(chunk)
 	progress := l.core().Chip().Model.OverheadRCKMPICall / 16
 	for off := 0; off < nBytes || nBytes == 0; off += chunk {
 		n := nBytes - off

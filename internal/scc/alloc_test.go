@@ -1,0 +1,80 @@
+package scc
+
+import (
+	"testing"
+
+	"scc/internal/timing"
+)
+
+// The protocol hot path must not allocate in the steady state: these
+// tests pin per-round allocation budgets using the delta technique (a
+// chip cannot be re-Run, so per-round cost is the slope between a short
+// and a long run of the same program; the fixed construction cost
+// cancels).
+
+// runFlagPingPong runs `rounds` blocking flag handshakes between two
+// cores: every WaitFlag in the loop actually blocks before its partner's
+// SetFlag releases it.
+func runFlagPingPong(rounds int) {
+	chip := New(timing.Default())
+	off0 := chip.MPBBase(0)
+	off1 := chip.MPBBase(1)
+	chip.LaunchOne(0, func(c *Core) {
+		for i := 0; i < rounds; i++ {
+			c.WaitFlag(off0, 1)
+			c.SetFlag(off0, 0)
+			c.SetFlag(off1, 1)
+		}
+	})
+	chip.LaunchOne(1, func(c *Core) {
+		for i := 0; i < rounds; i++ {
+			c.SetFlag(off0, 1)
+			c.WaitFlag(off1, 1)
+			c.SetFlag(off1, 0)
+		}
+	})
+	if err := chip.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// runFlagSpin runs `rounds` WaitFlag calls that never block (the flag is
+// already set), exercising the unblocked fast path.
+func runFlagSpin(rounds int) {
+	chip := New(timing.Default())
+	off := chip.MPBBase(0)
+	chip.LaunchOne(0, func(c *Core) {
+		c.SetFlag(off, 1)
+		for i := 0; i < rounds; i++ {
+			c.WaitFlag(off, 1)
+		}
+	})
+	if err := chip.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// perRound measures the marginal allocations of one loop round by
+// running the program at two lengths and taking the slope.
+func perRound(t *testing.T, f func(rounds int), lo, hi int) float64 {
+	t.Helper()
+	a := testing.AllocsPerRun(3, func() { f(lo) })
+	b := testing.AllocsPerRun(3, func() { f(hi) })
+	return (b - a) / float64(hi-lo)
+}
+
+func TestWaitFlagBlockedAllocFree(t *testing.T) {
+	got := perRound(t, runFlagPingPong, 20, 220)
+	// Budget: one blocking handshake (wait + two flag writes per side)
+	// must not allocate once signals and event-queue storage are warm.
+	if got > 0.05 {
+		t.Fatalf("blocked WaitFlag round allocates %.3f objects; budget 0.05", got)
+	}
+}
+
+func TestWaitFlagUnblockedAllocFree(t *testing.T) {
+	got := perRound(t, runFlagSpin, 20, 220)
+	if got > 0.05 {
+		t.Fatalf("unblocked WaitFlag round allocates %.3f objects; budget 0.05", got)
+	}
+}

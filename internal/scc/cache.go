@@ -6,35 +6,90 @@ package scc
 // simplification that preserves the behaviour the paper relies on: the
 // first access to a private-memory line goes off-chip, later accesses hit
 // on-chip (Sec. IV-D).
+//
+// Residency is tracked by a direct-index table rather than a map: line
+// numbers come from the core's bump allocator (line = addr / lineBytes),
+// so they are small and dense, and a slice lookup allocates nothing
+// while a Go map costs tens of allocations per level just to construct.
+// The table holds one int32 per line of simulated footprint (1/8 of the
+// footprint per level), which is small next to the backing store itself.
 type cacheLevel struct {
-	capacity int // in lines
-	lines    map[int64]*cacheNode
-	head     *cacheNode // most recently used
-	tail     *cacheNode // least recently used
+	capacity int     // in lines
+	idx      []int32 // line -> 1-based slab slot; 0 = not resident
+	head     *cacheNode
+	tail     *cacheNode
+	used     int // resident lines
+
+	// slab backs every node; it is allocated once at full capacity on
+	// first use, so an idle core's caches cost nothing and an active
+	// core cold-fills without per-line allocations. Nodes freed by
+	// invalidate go on the free list and are reused before the slab
+	// grows, so slab append never reallocates (node pointers stay valid).
+	slab []cacheNode
+	free *cacheNode // singly linked through next
 
 	hits, misses int64
 }
 
 type cacheNode struct {
 	line       int64
+	slot       int32 // 1-based index in slab, stable for the node's lifetime
 	prev, next *cacheNode
 }
 
 func newCacheLevel(capacityLines int) *cacheLevel {
-	hint := capacityLines
-	if hint > 256 {
-		hint = 256 // grow on demand; avoids large up-front allocation per core
+	return &cacheLevel{capacity: capacityLines}
+}
+
+// get returns the resident node for line, or nil.
+func (c *cacheLevel) get(line int64) *cacheNode {
+	if line >= 0 && line < int64(len(c.idx)) {
+		if s := c.idx[line]; s != 0 {
+			return &c.slab[s-1]
+		}
 	}
-	return &cacheLevel{
-		capacity: capacityLines,
-		lines:    make(map[int64]*cacheNode, hint),
+	return nil
+}
+
+// setIdx records line -> slot, growing the direct-index table on demand.
+func (c *cacheLevel) setIdx(line int64, slot int32) {
+	if line >= int64(len(c.idx)) {
+		// Grow 4x: the table is cheap (4 B/line) and footprints are
+		// usually reached within a few allocations, so aggressive growth
+		// keeps the copy chain short.
+		n := 4 * len(c.idx)
+		if n < 2048 {
+			n = 2048
+		}
+		for int64(n) <= line {
+			n *= 4
+		}
+		grown := make([]int32, n)
+		copy(grown, c.idx)
+		c.idx = grown
 	}
+	c.idx[line] = slot
+}
+
+// newNode hands out node storage: free list first, then the slab.
+func (c *cacheLevel) newNode(line int64) *cacheNode {
+	if c.slab == nil {
+		c.slab = make([]cacheNode, 0, c.capacity)
+	}
+	if n := c.free; n != nil {
+		c.free = n.next
+		n.line = line
+		n.prev, n.next = nil, nil
+		return n
+	}
+	c.slab = append(c.slab, cacheNode{line: line, slot: int32(len(c.slab) + 1)})
+	return &c.slab[len(c.slab)-1]
 }
 
 // lookup probes the cache; on hit the line becomes most recently used.
 func (c *cacheLevel) lookup(line int64) bool {
-	n, ok := c.lines[line]
-	if !ok {
+	n := c.get(line)
+	if n == nil {
 		c.misses++
 		return false
 	}
@@ -51,38 +106,44 @@ func (c *cacheLevel) lookup(line int64) bool {
 // simulator's single hottest allocation site otherwise (every private-
 // memory miss of every core).
 func (c *cacheLevel) insert(line int64) (evicted int64, ok bool) {
-	if n, exists := c.lines[line]; exists {
+	if n := c.get(line); n != nil {
 		c.moveToFront(n)
 		return 0, false
 	}
-	if len(c.lines) >= c.capacity && c.tail != nil {
+	if c.used >= c.capacity && c.tail != nil {
 		victim := c.tail
 		c.unlink(victim)
-		delete(c.lines, victim.line)
+		c.idx[victim.line] = 0
 		evicted = victim.line
 		victim.line = line
-		c.lines[line] = victim
+		c.setIdx(line, victim.slot)
 		c.pushFront(victim)
 		return evicted, true
 	}
-	n := &cacheNode{line: line}
-	c.lines[line] = n
+	n := c.newNode(line)
+	c.setIdx(line, n.slot)
 	c.pushFront(n)
+	c.used++
 	return 0, false
 }
 
-// invalidate drops a line if present.
+// invalidate drops a line if present; the node returns to the free list.
 func (c *cacheLevel) invalidate(line int64) {
-	if n, ok := c.lines[line]; ok {
+	if n := c.get(line); n != nil {
 		c.unlink(n)
-		delete(c.lines, line)
+		c.idx[line] = 0
+		c.used--
+		n.next = c.free
+		c.free = n
 	}
 }
 
-// flush empties the cache.
+// flush empties the cache; storage is re-acquired lazily on next use.
 func (c *cacheLevel) flush() {
-	c.lines = make(map[int64]*cacheNode)
-	c.head, c.tail = nil, nil
+	c.idx = nil
+	c.slab = nil
+	c.head, c.tail, c.free = nil, nil, nil
+	c.used = 0
 }
 
 func (c *cacheLevel) pushFront(n *cacheNode) {

@@ -56,6 +56,9 @@ type Chip struct {
 
 	mpb      []byte
 	flagSigs map[int]*simtime.Signal
+	// sigSlab hands out Signal storage for flagSigs in chunks, so a
+	// fresh chip's first barrier does not allocate once per flag.
+	sigSlab []simtime.Signal
 	// anyWaiters holds one-shot signals registered by WaitFlagAny under
 	// every offset the waiter watches.
 	anyWaiters map[int][]*simtime.Signal
@@ -157,7 +160,11 @@ func (c *Chip) MPBSlice(off, n int) []byte { return c.mpb[off : off+n] }
 func (c *Chip) flagSignal(off int) *simtime.Signal {
 	s, ok := c.flagSigs[off]
 	if !ok {
-		s = &simtime.Signal{}
+		if len(c.sigSlab) == 0 {
+			c.sigSlab = make([]simtime.Signal, 64)
+		}
+		s = &c.sigSlab[0]
+		c.sigSlab = c.sigSlab[1:]
 		c.flagSigs[off] = s
 	}
 	return s
@@ -197,7 +204,8 @@ func recoverCoreDeath(core *Core, p *simtime.Proc) {
 			panic(r)
 		}
 		core.dead = true
-		p.SetNote(fmt.Sprintf("core%02d died at %v (injected fault)", core.ID, p.Now()))
+		p.SetNote(simtime.Note2("core%02d died at t=%d ticks (injected fault)",
+			int64(core.ID), int64(p.Now())))
 	}
 }
 

@@ -24,7 +24,7 @@ type Core struct {
 	priv []byte
 	brk  Addr
 
-	l1, l2 *cacheLevel
+	l1, l2 cacheLevel
 
 	// pending accumulates purely local latency (compute, cache hits,
 	// private-memory misses) that no other core can observe until this
@@ -48,18 +48,45 @@ type Core struct {
 	// permanent-failure fault.
 	dead bool
 
+	// Steady-state scratch, reused across calls so the protocol hot path
+	// performs no per-message allocation. All of it is safe to reuse
+	// because a core is a single simulated process: no two of its MPB
+	// operations are ever in flight at once.
+	anySig   simtime.Signal // one-shot signal reused by waitAnyBlock*
+	xferBuf  []byte         // MPBWriteF64s/MPBReadF64s staging
+	faultBuf []byte         // fault-hook scratch copy for MPBWrite
+	redA     []float64      // ReduceMPBToMPB operand vector
+	redB     []float64      // ReduceMPBToMPB local vector
+
 	prof Profile
+}
+
+// growBytes returns (*buf)[:n], reallocating only when capacity grows.
+func growBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	return (*buf)[:n]
+}
+
+// growF64 returns (*buf)[:n], reallocating only when capacity grows.
+func growF64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
 }
 
 // Dead reports whether an injected fault has permanently killed this core.
 func (c *Core) Dead() bool { return c.dead }
 
 // Note records the core's last successful protocol step; it appears in
-// deadlock reports next to the blocking point. Safe to call before Launch
-// (no-op).
-func (c *Core) Note(note string) {
+// deadlock reports next to the blocking point. The note carries a static
+// format string plus integers and is only formatted if a deadlock report
+// is rendered (see simtime.Note). Safe to call before Launch (no-op).
+func (c *Core) Note(n simtime.Note) {
 	if c.proc != nil {
-		c.proc.SetNote(note)
+		c.proc.SetNote(n)
 	}
 }
 
@@ -135,9 +162,8 @@ func newCore(chip *Chip, id int) *Core {
 		ID:   id,
 		chip: chip,
 		tile: chip.TileOf(id),
-		priv: make([]byte, 0, 1<<14),
-		l1:   newCacheLevel(m.L1DataBytes / m.CacheLineBytes),
-		l2:   newCacheLevel(m.L2Bytes / m.CacheLineBytes),
+		l1:   cacheLevel{capacity: m.L1DataBytes / m.CacheLineBytes},
+		l2:   cacheLevel{capacity: m.L2Bytes / m.CacheLineBytes},
 	}
 }
 
@@ -172,8 +198,14 @@ func (c *Core) Alloc(n int) Addr {
 	c.brk = Addr((int(c.brk) + line - 1) / line * line)
 	a := c.brk
 	c.brk += Addr(n)
-	for len(c.priv) < int(c.brk) {
-		c.priv = append(c.priv, make([]byte, int(c.brk)-len(c.priv))...)
+	if need := int(c.brk); need > len(c.priv) {
+		if need > cap(c.priv) {
+			grown := make([]byte, need, 2*need)
+			copy(grown, c.priv)
+			c.priv = grown
+		} else {
+			c.priv = c.priv[:need]
+		}
 	}
 	return a
 }
@@ -393,7 +425,11 @@ func (c *Core) MPBWrite(off int, src []byte) {
 		r.CountN(c.ID, metrics.CtrMPBBytesWritten, int64(len(src)))
 	}
 	if h := c.chip.Fault; h != nil {
-		data := append([]byte(nil), src...)
+		// Clone src into a per-core scratch buffer so the hook may corrupt
+		// the payload without mutating the caller's bytes. The fault-free
+		// path (h == nil) never copies.
+		data := growBytes(&c.faultBuf, len(src))
+		copy(data, src)
 		if h.FilterMPBWrite(c.ID, off, data, c.proc.Now()) {
 			// Lost in flight: the cost is paid, nothing lands, nobody
 			// wakes. The caller's buffer is never mutated.
@@ -425,9 +461,11 @@ func (c *Core) MPBRead(off int, dst []byte) {
 	c.prof.MPBBytesRead += int64(len(dst))
 }
 
-// MPBWriteF64s writes float64 values to the MPB.
+// MPBWriteF64s writes float64 values to the MPB. The byte staging goes
+// through a per-core scratch buffer (a core's MPB operations never
+// overlap, so reuse is safe).
 func (c *Core) MPBWriteF64s(off int, src []float64) {
-	buf := make([]byte, 8*len(src))
+	buf := growBytes(&c.xferBuf, 8*len(src))
 	for i, v := range src {
 		binary.LittleEndian.PutUint64(buf[8*i:], f64bits(v))
 	}
@@ -436,7 +474,7 @@ func (c *Core) MPBWriteF64s(off int, src []float64) {
 
 // MPBReadF64s reads n float64 values from the MPB.
 func (c *Core) MPBReadF64s(off int, dst []float64) {
-	buf := make([]byte, 8*len(dst))
+	buf := growBytes(&c.xferBuf, 8*len(dst))
 	c.MPBRead(off, buf)
 	for i := range dst {
 		dst[i] = f64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
@@ -489,6 +527,7 @@ func (c *Core) WaitFlag(off int, want byte) simtime.Duration {
 	begin := c.Now()
 	reg := c.chip.metrics
 	blocked := false
+	site := simtime.WaitSite{Kind: simtime.WaitFlagEq, Core: int32(c.ID), Off: int32(off), Want: int32(want)}
 	for {
 		c.mpbLineAccess(owner, true)
 		if reg != nil {
@@ -499,8 +538,7 @@ func (c *Core) WaitFlag(off int, want byte) simtime.Duration {
 		}
 		blocked = true
 		c.chip.waiting[off]++
-		c.proc.WaitOn(c.chip.flagSignal(off),
-			fmt.Sprintf("core%02d flag@%d==%d", c.ID, off, want))
+		c.proc.WaitOn(c.chip.flagSignal(off), site)
 		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
 			delete(c.chip.waiting, off)
 		}
@@ -571,19 +609,34 @@ func (c *Core) WaitFlagAny(offs []int, want byte) int {
 // waitAnyBlock blocks until any of the given flags is written. A single
 // one-shot signal is registered under every offset, so the first write
 // wakes the core exactly once (Broadcast empties the signal's waiter
-// list; later writes find it empty).
+// list; later writes find it empty). The signal is the core's reusable
+// anySig: by the time the wait returns, the core has deregistered it
+// from every list and its waiter slice is empty again, so the next wait
+// can reuse it without allocating.
 func (c *Core) waitAnyBlock(offs []int) {
-	one := &simtime.Signal{}
+	one := &c.anySig
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = append(c.chip.anyWaiters[off], one)
 		c.chip.waiting[off]++
 	}
-	c.proc.WaitOn(one, fmt.Sprintf("core%02d any-flag %v", c.ID, offs))
+	c.proc.WaitOn(one, c.anySite(offs))
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = removeSignal(c.chip.anyWaiters[off], one)
 		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
 			delete(c.chip.waiting, off)
 		}
+	}
+}
+
+// anySite describes an any-flag blocking point: the watched-flag count
+// and the first offset stand in for the full list, which cannot be
+// stored without allocating.
+func (c *Core) anySite(offs []int) simtime.WaitSite {
+	return simtime.WaitSite{
+		Kind: simtime.WaitFlagsAny,
+		Core: int32(c.ID),
+		Off:  int32(offs[0]),
+		Want: int32(len(offs)),
 	}
 }
 
@@ -624,9 +677,9 @@ func (c *Core) notifyFlagWaiters(off, n int) {
 // cached private reads, per-element FP work, per-line local writes.
 func (c *Core) ReduceMPBToMPB(srcOff int, privAddr Addr, dstOff, n int, op func(a, b float64) float64) {
 	m := c.chip.Model
-	operand := make([]float64, n)
+	operand := growF64(&c.redA, n)
 	c.MPBReadF64s(srcOff, operand) // remote per-line round trips
-	local := make([]float64, n)
+	local := growF64(&c.redB, n)
 	c.ReadF64s(privAddr, local) // cached private reads
 	perElem := m.MPBReducePerElementCoreCycles
 	if m.HardwareBugFixed {

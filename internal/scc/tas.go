@@ -75,7 +75,7 @@ func (c *Core) TASAcquire(target int) {
 		blocked = true
 		c.chip.tasWaiting[target]++
 		c.proc.WaitOn(c.chip.tasSignal(target),
-			fmt.Sprintf("core%02d T&S %d", c.ID, target))
+			simtime.WaitSite{Kind: simtime.WaitTAS, Core: int32(c.ID), Off: int32(target)})
 		if c.chip.tasWaiting[target]--; c.chip.tasWaiting[target] == 0 {
 			delete(c.chip.tasWaiting, target)
 		}

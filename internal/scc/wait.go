@@ -1,8 +1,6 @@
 package scc
 
 import (
-	"fmt"
-
 	"scc/internal/metrics"
 	"scc/internal/simtime"
 )
@@ -49,11 +47,11 @@ func (c *Core) WaitFlagMatch(off int, limit simtime.Duration, pred func(byte) bo
 		}
 		blocked = true
 		c.chip.waiting[off]++
-		where := fmt.Sprintf("core%02d flag@%d match", c.ID, off)
+		site := simtime.WaitSite{Kind: simtime.WaitFlagPred, Core: int32(c.ID), Off: int32(off)}
 		if limit > 0 {
-			c.proc.WaitOnTimeout(c.chip.flagSignal(off), deadline-c.proc.Now(), where)
+			c.proc.WaitOnTimeout(c.chip.flagSignal(off), deadline-c.proc.Now(), site)
 		} else {
-			c.proc.WaitOn(c.chip.flagSignal(off), where)
+			c.proc.WaitOn(c.chip.flagSignal(off), site)
 		}
 		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
 			delete(c.chip.waiting, off)
@@ -111,14 +109,16 @@ func (c *Core) WaitFlagsMatch(offs []int, limit simtime.Duration, pred func(i in
 
 // waitAnyBlockTimeout is waitAnyBlock with a bounded wait: it returns
 // after d ticks even if no watched flag is written. Registration cleanup
-// is identical on both wake-up paths.
+// is identical on both wake-up paths, so the core's reusable anySig is
+// safe here too: WaitOnTimeout deregisters itself on the timeout path,
+// leaving the waiter list empty either way.
 func (c *Core) waitAnyBlockTimeout(offs []int, d simtime.Duration) {
-	one := &simtime.Signal{}
+	one := &c.anySig
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = append(c.chip.anyWaiters[off], one)
 		c.chip.waiting[off]++
 	}
-	c.proc.WaitOnTimeout(one, d, fmt.Sprintf("core%02d any-flag %v", c.ID, offs))
+	c.proc.WaitOnTimeout(one, d, c.anySite(offs))
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = removeSignal(c.chip.anyWaiters[off], one)
 		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {

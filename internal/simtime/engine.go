@@ -231,12 +231,14 @@ func (e *Engine) deadlockError() error {
 	var stuck []string
 	for _, p := range e.procs {
 		if !p.done {
-			where := p.blockedAt
-			if where == "" {
-				where = "unknown"
+			// The sites and notes were recorded as raw integers on the hot
+			// path; this is the one place they are actually formatted.
+			where := "unknown"
+			if p.blockedAt.Kind != WaitNone {
+				where = p.blockedAt.String()
 			}
-			if p.note != "" {
-				stuck = append(stuck, fmt.Sprintf("%s (waiting: %s; last step: %s)", p.name, where, p.note))
+			if !p.note.IsZero() {
+				stuck = append(stuck, fmt.Sprintf("%s (waiting: %s; last step: %s)", p.name, where, p.note.String()))
 			} else {
 				stuck = append(stuck, fmt.Sprintf("%s (waiting: %s)", p.name, where))
 			}

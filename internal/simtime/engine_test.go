@@ -132,7 +132,7 @@ func TestSignalBroadcastWakesAllWaiters(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		i := i
 		e.Spawn("waiter", func(p *Proc) {
-			p.WaitOn(&sig, "test signal")
+			p.WaitOn(&sig, Site("test signal"))
 			wakeTimes[i] = p.Now()
 		})
 	}
@@ -157,7 +157,7 @@ func TestDeadlockDetected(t *testing.T) {
 	e := NewEngine()
 	var sig Signal
 	e.Spawn("stuck-one", func(p *Proc) {
-		p.WaitOn(&sig, "a signal that never comes")
+		p.WaitOn(&sig, Site("a signal that never comes"))
 	})
 	e.Spawn("fine", func(p *Proc) {
 		p.Sleep(10)

@@ -15,9 +15,9 @@ type Proc struct {
 	yield  chan struct{} // proc -> engine: I am blocked or done
 
 	done      bool
-	killed    bool   // set by Engine.shutdown to abort the goroutine
-	blockedAt string // description of the current blocking point, for deadlock reports
-	note      string // last successful protocol step, for deadlock reports
+	killed    bool     // set by Engine.shutdown to abort the goroutine
+	blockedAt WaitSite // current blocking point, formatted only for deadlock reports
+	note      Note     // last successful protocol step, for deadlock reports
 	started   bool
 
 	// wakeGen counts resumes. Events snapshot it at schedule time so the
@@ -76,15 +76,15 @@ func (p *Proc) runOnce() {
 // block yields control back to the engine and waits to be resumed. The
 // caller must have arranged for a future wake-up (a scheduled event or a
 // signal registration) first.
-func (p *Proc) block(where string) {
-	p.blockedAt = where
+func (p *Proc) block(site WaitSite) {
+	p.blockedAt = site
 	p.yield <- struct{}{}
 	<-p.resume
 	p.wakeGen++ // any event scheduled before this resume is now stale
 	if p.killed {
 		panic(killSentinel{})
 	}
-	p.blockedAt = ""
+	p.blockedAt = WaitSite{}
 }
 
 // Sleep advances the process's virtual time by d ticks. Negative or zero
@@ -97,20 +97,23 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	p.eng.schedule(p, p.eng.now+d)
 	// A sleeping process always has a pending wake-up, so it can never
-	// appear in a deadlock report; skip building a description.
-	p.block("sleep")
+	// appear in a deadlock report; a static label suffices.
+	p.block(siteSleep)
 }
+
+// siteSleep is the shared site for Sleep, so sleeping never allocates.
+var siteSleep = Site("sleep")
 
 // Yield gives other processes scheduled at the current instant a chance to
 // run before this one continues.
 func (p *Proc) Yield() { p.Sleep(0) }
 
 // WaitOn blocks the process until s is signaled. The process wakes at the
-// virtual time of the Signal call. The where string appears in deadlock
-// diagnostics.
-func (p *Proc) WaitOn(s *Signal, where string) {
+// virtual time of the Signal call. The site appears in deadlock
+// diagnostics, formatted only if a report is rendered.
+func (p *Proc) WaitOn(s *Signal, site WaitSite) {
 	s.waiters = append(s.waiters, p)
-	p.block(where)
+	p.block(site)
 }
 
 // WaitOnTimeout blocks the process until s is signaled or d ticks elapse,
@@ -118,13 +121,13 @@ func (p *Proc) WaitOn(s *Signal, where string) {
 // timeout. The loser of the race is discarded via the wake-generation
 // mechanism, so a later Broadcast cannot resume the process at the wrong
 // point, and an expired timer event is skipped harmlessly.
-func (p *Proc) WaitOnTimeout(s *Signal, d Duration, where string) bool {
+func (p *Proc) WaitOnTimeout(s *Signal, d Duration, site WaitSite) bool {
 	if d < 0 {
 		d = 0
 	}
 	p.eng.schedule(p, p.eng.now+d)
 	s.waiters = append(s.waiters, p)
-	p.block(where)
+	p.block(site)
 	// Broadcast removes its waiters from the list; if we are still
 	// registered, the timer won the race and we must deregister ourselves.
 	for i, w := range s.waiters {
@@ -138,11 +141,13 @@ func (p *Proc) WaitOnTimeout(s *Signal, d Duration, where string) bool {
 
 // SetNote records the process's last successful protocol step. It is
 // included in deadlock reports next to the blocking point, so a hang
-// names both where the process is stuck and what it last achieved.
-func (p *Proc) SetNote(note string) { p.note = note }
+// names both where the process is stuck and what it last achieved. The
+// note is a deferred-format value: nothing is rendered unless a
+// deadlock report is.
+func (p *Proc) SetNote(n Note) { p.note = n }
 
-// Note returns the last note set with SetNote.
-func (p *Proc) Note() string { return p.note }
+// LastNote returns the last note set with SetNote.
+func (p *Proc) LastNote() Note { return p.note }
 
 // Signal is a broadcast wake-up point: processes block on it with WaitOn
 // and are all released by Broadcast. The zero value is ready to use.

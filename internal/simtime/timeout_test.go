@@ -14,7 +14,7 @@ func TestWaitOnTimeoutSignalWins(t *testing.T) {
 	var got bool
 	var wake Time
 	eng.Spawn("waiter", func(p *Proc) {
-		got = p.WaitOnTimeout(&sig, 100, "flag")
+		got = p.WaitOnTimeout(&sig, 100, Site("flag"))
 		wake = p.Now()
 		p.Sleep(500) // cross the stale timer's deadline
 	})
@@ -44,7 +44,7 @@ func TestWaitOnTimeoutExpires(t *testing.T) {
 	var got bool
 	var wake Time
 	eng.Spawn("waiter", func(p *Proc) {
-		got = p.WaitOnTimeout(&sig, 250, "flag")
+		got = p.WaitOnTimeout(&sig, 250, Site("flag"))
 		wake = p.Now()
 	})
 	if err := eng.Run(); err != nil {
@@ -69,7 +69,7 @@ func TestWaitOnTimeoutRepeated(t *testing.T) {
 	wins := 0
 	eng.Spawn("waiter", func(p *Proc) {
 		for i := 0; i < 3; i++ {
-			if p.WaitOnTimeout(&sig, 10, "flag") {
+			if p.WaitOnTimeout(&sig, 10, Site("flag")) {
 				wins++
 			}
 		}
@@ -94,8 +94,8 @@ func TestDeadlockReportIncludesNote(t *testing.T) {
 	eng := NewEngine()
 	var sig Signal
 	eng.Spawn("stuck", func(p *Proc) {
-		p.SetNote("sent chunk 3")
-		p.WaitOn(&sig, "ack")
+		p.SetNote(NoteString("sent chunk 3"))
+		p.WaitOn(&sig, Site("ack"))
 	})
 	err := eng.Run()
 	if !errors.Is(err, ErrDeadlock) {
