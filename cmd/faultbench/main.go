@@ -9,6 +9,8 @@
 //	faultbench                         # default sweep, 552 doubles
 //	faultbench -seed 7 -n 1000         # different fault history and size
 //	faultbench -faults 0,1,2,4,8,16,32 # denser fault axis
+//	faultbench -jitter 4               # de-correlated retransmit storms
+//	faultbench -selfheal               # Fig. R2: self-healing decomposition
 package main
 
 import (
@@ -32,6 +34,8 @@ func main() {
 	algo := flag.String("algo", "", "pin the Allreduce to this registry algorithm (default: paper heuristic)")
 	timeoutUs := flag.Int64("timeout", 300, "retransmit timeout in microseconds")
 	retries := flag.Int("retries", 8, "retransmit attempts before a peer is declared unreachable")
+	jitter := flag.Int("jitter", 0, "deterministic retransmit jitter (0 = none; 4 stretches backed-off windows by up to 25%)")
+	selfheal := flag.Bool("selfheal", false, "run the self-healing sweep (Fig. R2) instead of the fault-count sweep: one core killed mid-Allreduce, detection/agreement/recovery decomposed per algorithm")
 	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -57,6 +61,9 @@ func main() {
 	}
 	if *parallel < 0 {
 		fail("-parallel must be non-negative, got %d", *parallel)
+	}
+	if *jitter < 0 {
+		fail("-jitter must be non-negative, got %d", *jitter)
 	}
 	if *algo != "" {
 		if core.LookupAlgorithm(core.KindAllreduce, *algo) == nil {
@@ -85,7 +92,29 @@ func main() {
 
 	model := timing.Default()
 	runner := bench.NewRunner(*parallel)
-	pol := rcce.Policy{Timeout: simtime.Microseconds(*timeoutUs), Backoff: 2, MaxRetries: *retries}
+	pol := rcce.Policy{Timeout: simtime.Microseconds(*timeoutUs), Backoff: 2, MaxRetries: *retries, Jitter: *jitter}
+
+	if *selfheal {
+		heal := core.DefaultHealPolicy()
+		heal.Detect.Jitter = *jitter
+		algos := core.AlgorithmNames(core.KindAllreduce)
+		fracs := []float64{0.25, 0.5, 0.75}
+		fmt.Printf("Fig. R2: self-healing Allreduce, 48 cores, %d doubles, core %d killed mid-collective\n", *n, 17)
+		fmt.Println("(no oracle: in-band detection, agreed membership, epoched re-execution;")
+		fmt.Println(" plain = hardened stack fault-free, oracle = survivors known for free,")
+		fmt.Println(" total = end-to-end with the kill, killat in fractions of each algo's plain run)")
+		fmt.Println()
+		for _, kind := range []core.TransportKind{core.TransportBlocking, core.TransportLightweight} {
+			points := runner.SelfHealSweep(model, kind, heal, algos, *n, fracs)
+			if err := bench.WriteHealTable(os.Stdout, "transport: "+kind.String(), points); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit(1)
+			}
+			fmt.Println()
+		}
+		exit(0)
+	}
+
 	fmt.Printf("Fig. R1: hardened Allreduce, 48 cores, %d doubles, seed %d\n", *n, *seed)
 	fmt.Printf("(completion latency vs injected fault count; timeout %dus, %d retries)\n", *timeoutUs, *retries)
 	if *algo != "" {

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"scc/internal/core"
+	"scc/internal/fault"
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// This file measures the self-healing evaluation ("Fig. R2"): what a
+// mid-collective core death costs when no oracle tells the survivors who
+// died. Each sample kills one core at a fraction of the fault-free run
+// and decomposes the end-to-end latency into detection (kill → first
+// suspicion), agreement (first suspicion → committed membership) and
+// re-execution, against two comparators: the same self-healing stack
+// fault-free (its standing overhead is the outcome vote) and an oracle
+// run where the survivor group is known for free. Everything is
+// deterministic: same model, same kill point, bit-identical numbers.
+
+// HealPoint is one sample of the self-healing sweep.
+type HealPoint struct {
+	Algo   string
+	KillAt simtime.Duration // virtual kill time (0 = fault-free row)
+
+	Plain    simtime.Duration // hardened transport, no self-healing, fault-free
+	Overhead simtime.Duration // self-healing enabled, fault-free (vote cost)
+	Oracle   simtime.Duration // survivors-only run with perfect knowledge
+	Total    simtime.Duration // self-healing, victim killed at KillAt
+
+	Detect simtime.Duration // kill → first suspicion on any survivor
+	Agree  simtime.Duration // first suspicion → last committed agreement
+
+	Reconfigs int64  // committed membership agreements (max over cores)
+	Reexecs   int64  // collective re-executions (max over cores)
+	Evicted   int64  // members dropped (max over cores)
+	Epoch     uint32 // final communicator epoch
+	Survivors int    // cores that completed with the survivor-group sum
+	Errs      int    // cores that returned an error (typed, honest)
+	Wrong     int    // cores that completed with an incorrect sum
+}
+
+// healVictim is the core killed by every faulted sample: mid-chip, so
+// its death stalls both ring neighbors and tree subtrees.
+const healVictim = 17
+
+// measureSelfHealAllreduce runs one 48-core Allreduce of n doubles under
+// the self-healing runtime, with the victim killed at killAt (0 =
+// fault-free), and reports latency, the aggregated recovery report and
+// honest failure counts. Completed cores are checked against the sum of
+// the group that actually committed: all cores when nobody died, the
+// survivor set once the victim was evicted.
+func measureSelfHealAllreduce(model *timing.Model, kind core.TransportKind, pol core.HealPolicy, algo string, n int, killAt simtime.Duration) HealPoint {
+	chip := scc.New(model)
+	if killAt > 0 {
+		fault.Install(chip, fault.NewPlan().Add(fault.Fault{
+			Kind: fault.CoreDie, At: simtime.Time(killAt), Core: healVictim,
+		}))
+	}
+	comm := rcce.NewComm(chip)
+	cfg := core.Config{Transport: kind, Balanced: true, SelfHeal: &pol}
+	if algo != "" {
+		cfg.Selector = core.Fixed(algo)
+	}
+	p := chip.NumCores()
+	sum := func(excluded int) []float64 {
+		want := make([]float64, n)
+		for id := 0; id < p; id++ {
+			if id == excluded {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				want[i] += float64(id+1) + float64(i)*0.5
+			}
+		}
+		return want
+	}
+	wantFull := sum(-1)
+	wantSurv := sum(healVictim)
+
+	pt := HealPoint{Algo: algo, KillAt: killAt}
+	firstSuspect := simtime.Time(-1)
+	lastAgree := simtime.Time(-1)
+	chip.Launch(func(c *scc.Core) {
+		x := core.NewCtx(comm.UE(c.ID), cfg)
+		src := c.AllocF64(n)
+		dst := c.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(c.ID+1) + float64(i)*0.5
+		}
+		c.WriteF64s(src, v)
+		err := x.Allreduce(src, dst, n, core.Sum)
+
+		rep := x.Healer().Report()
+		if rep.FirstSuspectAt >= 0 && (firstSuspect < 0 || rep.FirstSuspectAt < firstSuspect) {
+			firstSuspect = rep.FirstSuspectAt
+		}
+		if rep.LastAgreeAt > lastAgree {
+			lastAgree = rep.LastAgreeAt
+		}
+		if rep.Reconfigs > pt.Reconfigs {
+			pt.Reconfigs = rep.Reconfigs
+		}
+		if rep.Reexecs > pt.Reexecs {
+			pt.Reexecs = rep.Reexecs
+		}
+		if rep.Evicted > pt.Evicted {
+			pt.Evicted = rep.Evicted
+		}
+		if rep.Epoch > pt.Epoch {
+			pt.Epoch = rep.Epoch
+		}
+
+		if c.ID == healVictim && killAt > 0 {
+			return // the victim's error (if it got one) is not a survivor outcome
+		}
+		if err != nil {
+			pt.Errs++
+			return
+		}
+		want := wantFull
+		if killAt > 0 && rep.Evicted > 0 {
+			want = wantSurv
+		}
+		got := make([]float64, n)
+		c.ReadF64s(dst, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				pt.Wrong++
+				return
+			}
+		}
+		pt.Survivors++
+	})
+	if err := chip.Run(); err != nil {
+		pt.Errs = p // a deadlock under self-healing is a bug; don't hide it
+	}
+	pt.Total = simtime.Duration(chip.Now())
+	if killAt > 0 && firstSuspect >= 0 {
+		pt.Detect = simtime.Duration(firstSuspect) - killAt
+		if lastAgree > firstSuspect {
+			pt.Agree = simtime.Duration(lastAgree - firstSuspect)
+		}
+	}
+	return pt
+}
+
+// measureOracleAllreduce is the perfect-knowledge comparator: the
+// victim never participates, every survivor runs the collective over
+// Survivors(48, {victim}) directly — no detection, no vote, no
+// agreement. Its latency is the floor any recovery mechanism pays.
+func measureOracleAllreduce(model *timing.Model, kind core.TransportKind, pol rcce.Policy, algo string, n int) simtime.Duration {
+	chip := scc.New(model)
+	comm := rcce.NewComm(chip)
+	cfg := core.Config{Transport: kind, Balanced: true, Recovery: &pol}
+	if algo != "" {
+		cfg.Selector = core.Fixed(algo)
+	}
+	g, err := core.Survivors(chip.NumCores(), []int{healVictim})
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	chip.Launch(func(c *scc.Core) {
+		if c.ID == healVictim {
+			return
+		}
+		x, err := core.NewCtxGroup(comm.UE(c.ID), cfg, g)
+		if err != nil {
+			panic(err)
+		}
+		src := c.AllocF64(n)
+		dst := c.AllocF64(n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(c.ID+1) + float64(i)*0.5
+		}
+		c.WriteF64s(src, v)
+		if err := x.Allreduce(src, dst, n, core.Sum); err != nil {
+			panic(err) // fault-free oracle run must not fail
+		}
+	})
+	if err := chip.Run(); err != nil {
+		panic(err)
+	}
+	return simtime.Duration(chip.Now())
+}
+
+// measurePlainAllreduce is the hardened-but-unhealed fault-free
+// baseline (the pre-self-healing stack).
+func measurePlainAllreduce(model *timing.Model, kind core.TransportKind, pol rcce.Policy, algo string, n int) simtime.Duration {
+	pt := measureFaultedAllreduce(model, kind, pol, algo, nil, n)
+	return pt.Latency
+}
+
+// SelfHealSweep measures, for each algorithm, the fault-free self-healing
+// overhead and the full recovery decomposition with the victim killed at
+// each fraction of the plain fault-free latency. Kill times derive from
+// each algorithm's own baseline, so "killed at 0.5" means mid-collective
+// for every algorithm regardless of how long it runs.
+func SelfHealSweep(model *timing.Model, kind core.TransportKind, pol core.HealPolicy, algos []string, n int, fracs []float64) []HealPoint {
+	var out []HealPoint
+	for _, algo := range algos {
+		plain := measurePlainAllreduce(model, kind, pol.Detect, algo, n)
+		oracle := measureOracleAllreduce(model, kind, pol.Detect, algo, n)
+		overhead := measureSelfHealAllreduce(model, kind, pol, algo, n, 0)
+		overhead.Plain = plain
+		overhead.Oracle = oracle
+		overhead.Overhead = overhead.Total
+		out = append(out, overhead)
+		for _, f := range fracs {
+			killAt := simtime.Duration(float64(plain) * f)
+			if killAt < 1 {
+				killAt = 1
+			}
+			pt := measureSelfHealAllreduce(model, kind, pol, algo, n, killAt)
+			pt.Plain = plain
+			pt.Oracle = oracle
+			pt.Overhead = overhead.Total
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// WriteHealTable renders the self-healing sweep as an aligned table
+// (the "Fig. R2" deliverable).
+func WriteHealTable(w io.Writer, title string, points []HealPoint) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%9s  %10s  %10s  %10s  %10s  %10s  %10s  %5s  %5s  %4s  %4s  %4s\n",
+		"algo", "killat", "plain", "oracle", "total", "detect", "agree", "recfg", "reexe", "surv", "errs", "bad"); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		kill := "-"
+		if pt.KillAt > 0 {
+			kill = fmt.Sprintf("%.0fus", pt.KillAt.Micros())
+		}
+		detect, agree := "-", "-"
+		if pt.KillAt > 0 {
+			detect = fmt.Sprintf("%.0fus", pt.Detect.Micros())
+			agree = fmt.Sprintf("%.0fus", pt.Agree.Micros())
+		}
+		total := pt.Total
+		if pt.KillAt == 0 {
+			total = pt.Overhead
+		}
+		if _, err := fmt.Fprintf(w, "%9s  %10s  %8.0fus  %8.0fus  %8.0fus  %10s  %10s  %5d  %5d  %4d  %4d  %4d\n",
+			pt.Algo, kill, pt.Plain.Micros(), pt.Oracle.Micros(), total.Micros(),
+			detect, agree, pt.Reconfigs, pt.Reexecs, pt.Survivors, pt.Errs, pt.Wrong); err != nil {
+			return err
+		}
+	}
+	return nil
+}

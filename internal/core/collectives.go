@@ -51,6 +51,13 @@ type Config struct {
 	// when faults exceed the retry budget. The MPB-direct Allreduce is
 	// not hardened; it falls back to the staged path under Recovery.
 	Recovery *rcce.Policy
+	// SelfHeal, when non-nil, runs the collectives under the
+	// self-healing loop (selfheal.go): in-band failure detection,
+	// outcome votes, agreed membership and epoched re-execution —
+	// no oracle tells the survivors who died. It implies Recovery
+	// (defaulting to SelfHeal.Detect when Recovery is nil), since
+	// detection is fed by the hardened transport's bounded waits.
+	SelfHeal *HealPolicy
 	// Selector picks the algorithm per collective call (see
 	// selector.go). nil means PaperHeuristic, the pre-registry
 	// behavior; an unknown or inapplicable pick also falls back to the
@@ -91,8 +98,14 @@ type Ctx struct {
 	ep  Endpoint
 	cfg Config
 	// grp restricts the collective to a member subset; nil means all
-	// cores. All ring/tree/partition logic runs on group ranks.
+	// cores. All ring/tree/partition logic runs on group ranks. Under
+	// self-healing the healer rewrites grp at each committed
+	// membership agreement.
 	grp *Group
+
+	// healer, when non-nil, wraps every collective call in the
+	// detection/vote/reconfigure/re-execute loop of selfheal.go.
+	healer *Healer
 
 	// scratch private-memory vectors for ring partials, sized lazily.
 	curAddr, rbufAddr scc.Addr
@@ -169,10 +182,30 @@ func scratchF64(buf *[]float64, n int) []float64 {
 	return (*buf)[:n]
 }
 
+// withSelfHealDefaults normalizes a self-healing configuration:
+// policies are filled from DefaultHealPolicy and Recovery — required to
+// feed the failure detector — defaults to SelfHeal.Detect.
+func (c Config) withSelfHealDefaults() Config {
+	if c.SelfHeal == nil {
+		return c
+	}
+	p := c.SelfHeal.withDefaults()
+	c.SelfHeal = &p
+	if c.Recovery == nil {
+		r := p.Detect
+		c.Recovery = &r
+	}
+	return c
+}
+
 // NewCtx builds a collectives context for one UE, spanning all cores.
 func NewCtx(ue *rcce.UE, cfg Config) *Ctx {
+	cfg = cfg.withSelfHealDefaults()
 	x := &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, scratchLen: -1}
 	x.adoptScratch()
+	if cfg.SelfHeal != nil {
+		x.healer = NewHealer(ue, *cfg.SelfHeal)
+	}
 	return x
 }
 
@@ -186,10 +219,46 @@ func NewCtxGroup(ue *rcce.UE, cfg Config, g *Group) (*Ctx, error) {
 	if !g.Contains(ue.ID()) {
 		return nil, fmt.Errorf("core: %w: core %d is not a member of the group", ErrInvalid, ue.ID())
 	}
+	cfg = cfg.withSelfHealDefaults()
 	x := &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, grp: g, scratchLen: -1}
+	x.adoptScratch()
+	if cfg.SelfHeal != nil {
+		x.healer = NewHealer(ue, *cfg.SelfHeal)
+		x.healer.seedMembers(g.Members())
+	}
+	return x, nil
+}
+
+// NewCtxHealer builds a self-healing context around a persistent Healer
+// (the façade keeps one healer per core across Runs: suspicions, the
+// agreed member set and the epoch survive a Run boundary). The context
+// starts on the healer's current member set; a core the previous
+// agreement evicted gets ErrEvicted instead of a context.
+func NewCtxHealer(ue *rcce.UE, cfg Config, h *Healer) (*Ctx, error) {
+	if h == nil {
+		return NewCtx(ue, cfg), nil
+	}
+	if cfg.SelfHeal == nil {
+		p := h.pol
+		cfg.SelfHeal = &p
+	}
+	cfg = cfg.withSelfHealDefaults()
+	h.Bind(ue)
+	g, err := h.groupFor()
+	if err != nil {
+		return nil, err
+	}
+	if g != nil && !g.Contains(ue.ID()) {
+		return nil, fmt.Errorf("core: %w: core %d (epoch %d)", ErrEvicted, ue.ID(), h.epoch)
+	}
+	x := &Ctx{ue: ue, ep: newEndpoint(ue, cfg), cfg: cfg, grp: g, scratchLen: -1, healer: h}
 	x.adoptScratch()
 	return x, nil
 }
+
+// Healer returns the self-healing state machine, or nil when the
+// context is not self-healing.
+func (x *Ctx) Healer() *Healer { return x.healer }
 
 // UE returns the underlying unit of execution.
 func (x *Ctx) UE() *rcce.UE { return x.ue }
@@ -325,6 +394,19 @@ func (x *Ctx) ReduceScatter(src, dst scc.Addr, n int, op Op) ([]Block, error) {
 	if err := checkCount("ReduceScatter", n); err != nil {
 		return nil, err
 	}
+	if x.healer != nil {
+		var blocks []Block
+		err := x.healer.run(x, func() error {
+			var e error
+			blocks, e = x.reduceScatterBody(src, dst, n, op)
+			return e
+		})
+		return blocks, err
+	}
+	return x.reduceScatterBody(src, dst, n, op)
+}
+
+func (x *Ctx) reduceScatterBody(src, dst scc.Addr, n int, op Op) ([]Block, error) {
 	p := x.np()
 	me := x.rank()
 	blocks := x.partitionFor(n, p, x.cfg.Balanced)
@@ -389,6 +471,16 @@ func (x *Ctx) Allreduce(src, dst scc.Addr, n int, op Op) error {
 	if err := checkCount("Allreduce", n); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.allreduceBody(src, dst, n, op) })
+	}
+	return x.allreduceBody(src, dst, n, op)
+}
+
+// allreduceBody is one attempt: the group size, algorithm pick and
+// execution all happen inside the healed region, so a re-execution
+// after membership shrank re-selects for the survivor count.
+func (x *Ctx) allreduceBody(src, dst scc.Addr, n int, op Op) error {
 	if x.np() == 1 {
 		x.copyPriv(dst, src, n)
 		return nil
@@ -406,6 +498,16 @@ func (x *Ctx) Reduce(root int, src, dst scc.Addr, n int, op Op) error {
 	if err := checkCount("Reduce", n); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.reduceBody(root, src, dst, n, op) })
+	}
+	return x.reduceBody(root, src, dst, n, op)
+}
+
+// reduceBody validates the root inside the healed region: if the root
+// itself died, the re-execution surfaces a deterministic ErrInvalid on
+// every survivor instead of retrying a rootless collective.
+func (x *Ctx) reduceBody(root int, src, dst scc.Addr, n int, op Op) error {
 	if _, err := x.rootRank("Reduce", root); err != nil {
 		return err
 	}
@@ -426,6 +528,13 @@ func (x *Ctx) Broadcast(root int, addr scc.Addr, n int) error {
 	if err := checkCount("Broadcast", n); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.broadcastBody(root, addr, n) })
+	}
+	return x.broadcastBody(root, addr, n)
+}
+
+func (x *Ctx) broadcastBody(root int, addr scc.Addr, n int) error {
 	if _, err := x.rootRank("Broadcast", root); err != nil {
 		return err
 	}
@@ -445,6 +554,13 @@ func (x *Ctx) Allgather(src scc.Addr, nPer int, dst scc.Addr) error {
 	if err := checkCount("Allgather", nPer); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.allgatherBody(src, nPer, dst) })
+	}
+	return x.allgatherBody(src, nPer, dst)
+}
+
+func (x *Ctx) allgatherBody(src scc.Addr, nPer int, dst scc.Addr) error {
 	p := x.np()
 	me := x.rank()
 	// Place my contribution, then ring-rotate contributions.
@@ -469,6 +585,13 @@ func (x *Ctx) Alltoall(src, dst scc.Addr, nPer int) error {
 	if err := checkCount("Alltoall", nPer); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.alltoallBody(src, dst, nPer) })
+	}
+	return x.alltoallBody(src, dst, nPer)
+}
+
+func (x *Ctx) alltoallBody(src, dst scc.Addr, nPer int) error {
 	p := x.np()
 	me := x.rank()
 	for r := 0; r < p; r++ {
@@ -493,6 +616,13 @@ func (x *Ctx) Alltoall(src, dst scc.Addr, nPer int) error {
 // delegates to RCCE's barrier; group or hardened contexts use the group
 // barrier (bounded waits under Recovery).
 func (x *Ctx) Barrier() error {
+	if x.healer != nil {
+		return x.healer.run(x, x.barrierBody)
+	}
+	return x.barrierBody()
+}
+
+func (x *Ctx) barrierBody() error {
 	if x.grp == nil && x.cfg.Recovery == nil {
 		x.ue.Barrier()
 		return nil

@@ -38,9 +38,19 @@ func NewGroup(members []int, numCores int) (*Group, error) {
 
 // Survivors builds the group of all cores except the given dead ones —
 // the membership a failure-aware collective rebuilds after core death.
+// Duplicate dead entries are tolerated (a fault plan can report a core
+// dead more than once); a dead ID outside [0,numCores) or a dead set
+// covering every core returns a clean ErrInvalid instead of producing a
+// degenerate group.
 func Survivors(numCores int, dead []int) (*Group, error) {
+	if numCores <= 0 {
+		return nil, fmt.Errorf("core: %w: %d cores", ErrInvalid, numCores)
+	}
 	isDead := make(map[int]bool, len(dead))
 	for _, id := range dead {
+		if id < 0 || id >= numCores {
+			return nil, fmt.Errorf("core: %w: dead core %d outside [0,%d)", ErrInvalid, id, numCores)
+		}
 		isDead[id] = true
 	}
 	var live []int
@@ -48,6 +58,9 @@ func Survivors(numCores int, dead []int) (*Group, error) {
 		if !isDead[id] {
 			live = append(live, id)
 		}
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("core: %w: no survivors (all %d cores dead)", ErrInvalid, numCores)
 	}
 	return NewGroup(live, numCores)
 }

@@ -46,6 +46,50 @@ func TestGroupConstruction(t *testing.T) {
 	}
 }
 
+// TestSurvivorsEdgeCases pins the degenerate inputs a fault plan (or a
+// confused caller) can produce: duplicate dead entries are tolerated, a
+// fully dead chip and out-of-range IDs return clean typed errors, and a
+// nonsensical core count is rejected outright.
+func TestSurvivorsEdgeCases(t *testing.T) {
+	// Duplicates: a fault plan can report the same core dead twice.
+	g, err := Survivors(48, []int{17, 17, 3, 17})
+	if err != nil {
+		t.Fatalf("duplicate dead entries: %v", err)
+	}
+	if g.Size() != 46 || g.Contains(17) || g.Contains(3) {
+		t.Fatalf("Survivors(48, [17,17,3,17]): size %d, want 46 without 3 and 17", g.Size())
+	}
+
+	// All dead: no survivors is an error, not an empty group.
+	allDead := make([]int, 48)
+	for i := range allDead {
+		allDead[i] = i
+	}
+	if _, err := Survivors(48, allDead); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("all-dead: err = %v, want ErrInvalid", err)
+	}
+
+	// Out-of-range dead IDs.
+	for _, bad := range [][]int{{-1}, {48}, {0, 99}} {
+		if _, err := Survivors(48, bad); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("Survivors(48, %v) = %v, want ErrInvalid", bad, err)
+		}
+	}
+
+	// Nonsensical chip sizes.
+	for _, n := range []int{0, -3} {
+		if _, err := Survivors(n, nil); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("Survivors(%d, nil) = %v, want ErrInvalid", n, err)
+		}
+	}
+
+	// No dead cores at all: the full chip survives.
+	g, err = Survivors(4, nil)
+	if err != nil || g.Size() != 4 {
+		t.Fatalf("Survivors(4, nil) = %v, %v; want a 4-member group", g, err)
+	}
+}
+
 func TestNewCtxGroupRejectsNonMember(t *testing.T) {
 	chip := scc.New(timing.Default())
 	comm := rcce.NewComm(chip)

@@ -14,6 +14,13 @@ func (x *Ctx) Scatter(root int, src scc.Addr, nPer int, dst scc.Addr) error {
 	if err := checkCount("Scatter", nPer); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.scatterBody(root, src, nPer, dst) })
+	}
+	return x.scatterBody(root, src, nPer, dst)
+}
+
+func (x *Ctx) scatterBody(root int, src scc.Addr, nPer int, dst scc.Addr) error {
 	rootR, err := x.rootRank("Scatter", root)
 	if err != nil {
 		return err
@@ -47,6 +54,13 @@ func (x *Ctx) Gather(root int, src scc.Addr, nPer int, dst scc.Addr) error {
 	if err := checkCount("Gather", nPer); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.gatherBody(root, src, nPer, dst) })
+	}
+	return x.gatherBody(root, src, nPer, dst)
+}
+
+func (x *Ctx) gatherBody(root int, src scc.Addr, nPer int, dst scc.Addr) error {
 	rootR, err := x.rootRank("Gather", root)
 	if err != nil {
 		return err
@@ -82,6 +96,13 @@ func (x *Ctx) Scan(src, dst scc.Addr, n int, op Op) error {
 	if err := checkCount("Scan", n); err != nil {
 		return err
 	}
+	if x.healer != nil {
+		return x.healer.run(x, func() error { return x.scanBody(src, dst, n, op) })
+	}
+	return x.scanBody(src, dst, n, op)
+}
+
+func (x *Ctx) scanBody(src, dst scc.Addr, n int, op Op) error {
 	p := x.np()
 	me := x.rank()
 	x.copyPriv(dst, src, n)

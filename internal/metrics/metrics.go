@@ -112,6 +112,15 @@ const (
 	CtrGets
 	CtrPutTicks
 	CtrGetTicks
+	// Self-healing runtime counters (see internal/core/selfheal.go):
+	// detector transitions, outcome votes, committed membership
+	// agreements and collective re-executions.
+	CtrSuspicions
+	CtrSuspicionClears
+	CtrVotes
+	CtrVotesFailed
+	CtrReconfigs
+	CtrReexecs
 
 	NumCounters int = iota
 )
@@ -123,6 +132,8 @@ var counterNames = [NumCounters]string{
 	"reqs-posted", "req-wait-rounds", "pending-reqs-max", "slot-drains",
 	"sends", "recvs", "send-ticks", "recv-ticks",
 	"puts", "gets", "put-ticks", "get-ticks",
+	"suspicions", "suspicion-clears", "votes", "votes-failed",
+	"reconfigs", "reexecs",
 }
 
 // String returns the stable snapshot/CSV name of the counter.

@@ -50,6 +50,35 @@ const (
 	// barrier's so the two generation counters cannot desynchronize.
 	FlagGroupArrive  = 13
 	FlagGroupRelease = 14
+	// FlagVoteArrive/Release: the self-healing runtime's outcome vote
+	// after every collective (see internal/core). Token-valued; cleared
+	// on epoch adoption so a stale vote can never alias a fresh one.
+	FlagVoteArrive  = 15
+	FlagVoteRelease = 16
+	// FlagMemberArrive/Release: membership-agreement participation and
+	// view-publication flags. Arrive carries a per-member monotonic
+	// token; Release announces that the view payload below is valid.
+	FlagMemberArrive  = 17
+	FlagMemberRelease = 18
+	// FlagEpochArrive/Release: the commit barrier that seals a newly
+	// agreed epoch. Token = 1 + epoch mod 127, so attempts at distinct
+	// epochs cannot alias.
+	FlagEpochArrive  = 19
+	FlagEpochRelease = 20
+	// FlagSuspBase..+5: six-byte payload region. member -> coordinator
+	// lines carry the member's suspicion bitmap; coordinator -> member
+	// lines carry the agreed view bitmap (one bit per core, 48 cores).
+	FlagSuspBase = 21
+	// FlagViewEpoch..+3: coordinator -> member, the agreed epoch as a
+	// little-endian uint32. Together with the view bitmap this fills the
+	// flag line to byte 30 of 32.
+	FlagViewEpoch = 27
+	// FlagCollSeq: member -> coordinator, the member's wrapped-collective
+	// call sequence (mod 256), shipped with each agreement arrival so a
+	// member stranded on a different collective call than the majority
+	// cohort is evicted instead of exchanging mismatched payloads. Last
+	// byte of the 32-byte flag line.
+	FlagCollSeq = 31
 )
 
 // Unexported aliases keep the package-internal protocol code terse.
@@ -142,6 +171,19 @@ type UE struct {
 	sendSeq []byte
 	recvSeq []byte
 	stats   RecoveryStats
+
+	// epochSalt is folded into every hardened-protocol chunk checksum
+	// (see epoch.go): after a membership change, chunks staged under the
+	// previous epoch fail verification and are NACKed away instead of
+	// being consumed as fresh data. Zero (epoch 0) is the unsalted
+	// legacy behavior.
+	epochSalt uint32
+
+	// peerObs, when installed, observes per-peer protocol outcomes: it
+	// is called with alive=false when a peer exhausts a retry budget and
+	// alive=true on any successful handshake with it. The in-band
+	// failure detector of internal/core hangs off this hook.
+	peerObs func(peer int, alive bool)
 
 	// stage is the UE's staging arena for Put/Get: a core moves at most
 	// one message chunk at a time, so one reusable buffer replaces the

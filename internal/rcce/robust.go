@@ -39,6 +39,30 @@ type Policy struct {
 	Backoff int
 	// MaxRetries is the per-chunk retry budget before ErrUnreachable.
 	MaxRetries int
+	// Jitter spreads the retransmit deadlines of concurrent peers: each
+	// backed-off window is stretched by up to Jitter/16 of itself, keyed
+	// deterministically by (self, peer, sequence, retry) — never by wall
+	// clock — so same-seed runs stay bit-identical while synchronized
+	// retransmit storms after a link stall de-correlate. 0 disables
+	// jitter (the legacy behavior); 4 stretches windows by up to 25%.
+	Jitter int
+}
+
+// jitterOf returns the deterministic window stretch for one retry of one
+// peer pairing: window * (h mod (Jitter+1)) / 16 with h an FNV-1a mix of
+// the identifying tuple. Pure function of its arguments — no clocks, no
+// global state — so determinism is preserved by construction.
+func (p Policy) JitterOf(window simtime.Duration, self, peer int, seq byte, try int) simtime.Duration {
+	if p.Jitter <= 0 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for _, v := range [4]uint32{uint32(self), uint32(peer), uint32(seq), uint32(try)} {
+		h ^= v
+		h *= 16777619
+	}
+	steps := uint32(p.Jitter) + 1
+	return window * simtime.Duration(h%steps) / 16
 }
 
 // DefaultPolicy returns the policy used by the fault benchmarks: a 300 µs
@@ -233,7 +257,8 @@ func (r *robustOp) armDeadline() {
 
 func (r *robustOp) backoff() {
 	r.window *= simtime.Duration(r.pol.Backoff)
-	r.armDeadline()
+	r.deadline = r.u.core.Now() + r.window +
+		r.pol.JitterOf(r.window, r.u.ID(), r.peer, r.seq, r.retries)
 }
 
 // chargeChecksum prices checksumming n payload bytes (minimum one line).
@@ -255,7 +280,7 @@ func (r *robustOp) stage() {
 	n := r.chunkLen()
 	u.Put(r.addr+scc.Addr(r.off), u.comm.DataBase(u.ID()), n)
 	r.chargeChecksum(n)
-	sum := fnv1a(u.core.PrivBytes(r.addr+scc.Addr(r.off), n))
+	sum := fnv1a(u.core.PrivBytes(r.addr+scc.Addr(r.off), n)) ^ u.epochSalt
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], sum)
 	u.core.MPBWrite(r.chkOff(), b[:])
@@ -276,6 +301,7 @@ func (r *robustOp) completeChunk(n int) {
 	}
 	r.seq = nextSeq(r.seq)
 	seqm[r.peer] = r.seq
+	u.notifyPeer(r.peer, true) // a completed handshake clears suspicion
 	u.core.Note(simtime.Note3(verb, int64(r.off), int64(r.n), int64(r.peer)))
 	if r.chunks == 0 {
 		r.done = true
@@ -324,7 +350,7 @@ func (r *robustOp) advance(v byte) {
 	n := r.chunkLen()
 	u.Get(u.comm.DataBase(r.peer), r.addr+scc.Addr(r.off), n)
 	r.chargeChecksum(n)
-	sum := fnv1a(u.core.PrivBytes(r.addr+scc.Addr(r.off), n))
+	sum := fnv1a(u.core.PrivBytes(r.addr+scc.Addr(r.off), n)) ^ u.epochSalt
 	var b [4]byte
 	u.core.MPBRead(r.chkOff(), b[:])
 	if binary.LittleEndian.Uint32(b[:]) != sum {
@@ -357,6 +383,7 @@ func (r *robustOp) onTimeout() error {
 	}
 	r.retries++
 	if r.retries > r.pol.MaxRetries {
+		u.notifyPeer(r.peer, false) // budget exhausted: suspect the peer
 		return fmt.Errorf("%w: %v peer %02d at byte %d/%d (%d retries)",
 			ErrUnreachable, r.kind, r.peer, r.off, r.n, r.pol.MaxRetries)
 	}
@@ -515,19 +542,22 @@ func (u *UE) barrierGroup(members []int, pol *Policy) error {
 	u.groupGen[root] = gen
 	isGen := func(v byte) bool { return v == gen }
 
-	boundedWait := func(off int, onRetry func()) error {
+	boundedWait := func(peer, off int, onRetry func()) error {
 		if pol == nil {
 			u.core.WaitFlag(off, gen)
+			u.notifyPeer(peer, true)
 			return nil
 		}
 		window := pol.Timeout
 		for try := 0; ; try++ {
-			if _, ok := u.core.WaitFlagMatch(off, window, isGen); ok {
+			if _, ok := u.core.WaitFlagMatch(off, window+pol.JitterOf(window, u.ID(), peer, gen, try), isGen); ok {
+				u.notifyPeer(peer, true)
 				return nil
 			}
 			u.core.OverheadCycles(m.OverheadTimeoutCheck)
 			u.stats.Timeouts++
 			if try >= pol.MaxRetries {
+				u.notifyPeer(peer, false)
 				return fmt.Errorf("%w: group barrier (root %02d, gen %d)", ErrUnreachable, root, gen)
 			}
 			if onRetry != nil {
@@ -539,7 +569,7 @@ func (u *UE) barrierGroup(members []int, pol *Policy) error {
 
 	if u.ID() == root {
 		for _, p := range members[1:] {
-			if err := boundedWait(u.comm.FlagAddr(root, p, FlagGroupArrive), nil); err != nil {
+			if err := boundedWait(p, u.comm.FlagAddr(root, p, FlagGroupArrive), nil); err != nil {
 				return err
 			}
 		}
@@ -551,7 +581,7 @@ func (u *UE) barrierGroup(members []int, pol *Policy) error {
 	}
 	arrive := u.comm.FlagAddr(root, u.ID(), FlagGroupArrive)
 	u.core.SetFlag(arrive, gen)
-	err := boundedWait(u.comm.FlagAddr(u.ID(), root, FlagGroupRelease), func() {
+	err := boundedWait(root, u.comm.FlagAddr(u.ID(), root, FlagGroupRelease), func() {
 		u.core.SetFlag(arrive, gen) // our arrival may have been lost
 		u.stats.Retransmits++
 	})

@@ -10,6 +10,7 @@
 package scc
 
 import (
+	"errors"
 	"fmt"
 
 	"scc/internal/mesh"
@@ -171,10 +172,16 @@ func (c *Chip) flagSignal(off int) *simtime.Signal {
 }
 
 // Launch spawns one simulated process per core, all running fn with their
-// own core handle (SPMD style). Call Run afterwards.
+// own core handle (SPMD style). Call Run afterwards. A core killed by an
+// injected fault in an earlier run stays dead: its process is not
+// respawned — exactly like real silicon, a died core does not come back
+// for the next program.
 func (c *Chip) Launch(fn func(core *Core)) {
 	for _, core := range c.Cores {
 		core := core
+		if core.dead {
+			continue
+		}
 		core.proc = c.Engine.Spawn(fmt.Sprintf("core%02d", core.ID), func(p *simtime.Proc) {
 			defer recoverCoreDeath(core, p)
 			fn(core)
@@ -209,9 +216,34 @@ func recoverCoreDeath(core *Core, p *simtime.Proc) {
 	}
 }
 
+// ErrCoreDead marks a run that failed because an injected fault killed
+// a core: the surviving processes deadlocked (or otherwise erred)
+// waiting on flags the dead core will never write. Callers that did not
+// enable recovery get this typed error instead of a bare deadlock
+// report; errors.Is(err, ErrCoreDead) identifies the case.
+var ErrCoreDead = errors.New("scc: core died mid-run")
+
 // Run executes the simulation to completion and returns the engine error
-// (nil, deadlock, or a propagated panic).
-func (c *Chip) Run() error { return c.Engine.Run() }
+// (nil, deadlock, or a propagated panic). When the run fails and one or
+// more cores were killed by injected faults, the error is wrapped with
+// ErrCoreDead naming the dead cores — a deadlock with a core down is a
+// consequence of the death, not a protocol bug.
+func (c *Chip) Run() error {
+	err := c.Engine.Run()
+	if err == nil {
+		return nil
+	}
+	var dead []int
+	for _, core := range c.Cores {
+		if core.dead {
+			dead = append(dead, core.ID)
+		}
+	}
+	if len(dead) == 0 {
+		return err
+	}
+	return fmt.Errorf("%w (cores %v): %v", ErrCoreDead, dead, err)
+}
 
 // Now returns the current virtual time.
 func (c *Chip) Now() simtime.Time { return c.Engine.Now() }

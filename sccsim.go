@@ -25,6 +25,38 @@ type RecoveryPolicy = rcce.Policy
 // DefaultRecoveryPolicy returns the standard hardened-protocol policy.
 func DefaultRecoveryPolicy() RecoveryPolicy { return rcce.DefaultPolicy() }
 
+// HealPolicy bounds the self-healing runtime: Detect is the hardened
+// transport's policy (and the wait budget toward already-suspected
+// peers), Member the longer budget toward members in good standing
+// during votes and membership agreement, MaxRounds the cap on
+// reconfigure/re-execute cycles per collective call.
+type HealPolicy = core.HealPolicy
+
+// DefaultHealPolicy returns the tuned self-healing defaults.
+func DefaultHealPolicy() HealPolicy { return core.DefaultHealPolicy() }
+
+// HealReport summarizes self-healing activity: detector transitions,
+// outcome votes, committed membership agreements, re-executions, the
+// communicator epoch and the detection/agreement timestamps.
+type HealReport = core.RecoveryReport
+
+// Typed failure errors, testable with errors.Is.
+var (
+	// ErrUnreachable: a peer stayed silent past the hardened protocol's
+	// retry budget (the raw detection signal).
+	ErrUnreachable = rcce.ErrUnreachable
+	// ErrCoreDead: a core died mid-run and, with no recovery enabled,
+	// the survivors stalled on its silent flags.
+	ErrCoreDead = scc.ErrCoreDead
+	// ErrEvicted: the agreed survivor view excludes this rank.
+	ErrEvicted = core.ErrEvicted
+	// ErrNoQuorum: membership agreement could not reach a majority of
+	// the previous group.
+	ErrNoQuorum = core.ErrNoQuorum
+	// ErrHealGiveUp: the self-healing loop exhausted its rounds.
+	ErrHealGiveUp = core.ErrHealGiveUp
+)
+
 // FaultPlan schedules deterministic faults on the simulated chip; build
 // one with NewFaultPlan or RandomFaultPlan and install it with
 // WithFaults.
@@ -183,6 +215,7 @@ type config struct {
 	stack    Stack
 	faults   *fault.Plan
 	recovery *rcce.Policy
+	selfheal *core.HealPolicy
 	selector core.Selector
 	metrics  bool
 }
@@ -251,11 +284,30 @@ func WithRecovery(pol RecoveryPolicy) Option {
 	return func(c *config) { p := pol; c.recovery = &p }
 }
 
+// WithSelfHealing runs the selected stack under the self-healing
+// collective runtime: the hardened transport's bounded waits feed an
+// in-band failure detector, collectives that hit an unreachable peer
+// vote on the outcome, agree on the survivor membership over the MPB
+// (no oracle — the runtime discovers who died), adopt a fresh
+// communicator epoch, and re-execute on the agreed group. It implies
+// WithRecovery(pol.Detect) unless WithRecovery is given explicitly, has
+// no effect on StackRCKMPI, and disables the MPB-direct Allreduce fast
+// path (which is not hardened). Healing state — suspicions, the agreed
+// member set, the epoch — persists across Run calls on one System.
+func WithSelfHealing(pol HealPolicy) Option {
+	return func(c *config) { p := pol; c.selfheal = &p }
+}
+
 // System is one simulated SCC ready to run SPMD programs.
 type System struct {
 	cfg  config
 	chip *scc.Chip
 	comm *rcce.Comm
+	// healers persist per core across Run calls (nil without
+	// WithSelfHealing): suspicions, the agreed member set and the
+	// communicator epoch are durable state of the runtime, not of one
+	// program.
+	healers []*core.Healer
 }
 
 // New builds a simulated SCC. Options default to the paper's hardware
@@ -272,7 +324,11 @@ func New(opts ...Option) *System {
 	if cfg.faults != nil {
 		fault.Install(chip, cfg.faults)
 	}
-	return &System{cfg: cfg, chip: chip, comm: rcce.NewComm(chip)}
+	s := &System{cfg: cfg, chip: chip, comm: rcce.NewComm(chip)}
+	if cfg.selfheal != nil {
+		s.healers = make([]*core.Healer, chip.NumCores())
+	}
+	return s
 }
 
 // NumCores returns the core count (48).
@@ -310,10 +366,54 @@ func (s *System) Metrics() *Metrics {
 	return reg.Snapshot()
 }
 
+// Heal aggregates the self-healing activity of all ranks so far, or
+// nil when the System was built without WithSelfHealing. Per-core
+// activity counts (suspicions, clears, votes) are summed; global-event
+// counts (reconfigurations, re-executions, evictions — every member
+// observes the same committed events) and the epoch are maxima;
+// FirstSuspectAt is the earliest suspicion on any core (detection
+// latency) and LastAgreeAt the latest committed agreement.
+func (s *System) Heal() *HealReport {
+	if s.healers == nil {
+		return nil
+	}
+	agg := HealReport{FirstSuspectAt: -1, LastAgreeAt: -1}
+	for _, h := range s.healers {
+		if h == nil {
+			continue
+		}
+		r := h.Report()
+		agg.Suspicions += r.Suspicions
+		agg.Clears += r.Clears
+		agg.Votes += r.Votes
+		agg.VotesFailed += r.VotesFailed
+		if r.Reconfigs > agg.Reconfigs {
+			agg.Reconfigs = r.Reconfigs
+		}
+		if r.Reexecs > agg.Reexecs {
+			agg.Reexecs = r.Reexecs
+		}
+		if r.Evicted > agg.Evicted {
+			agg.Evicted = r.Evicted
+		}
+		if r.Epoch > agg.Epoch {
+			agg.Epoch = r.Epoch
+		}
+		if r.FirstSuspectAt >= 0 && (agg.FirstSuspectAt < 0 || r.FirstSuspectAt < agg.FirstSuspectAt) {
+			agg.FirstSuspectAt = r.FirstSuspectAt
+		}
+		if r.LastAgreeAt > agg.LastAgreeAt {
+			agg.LastAgreeAt = r.LastAgreeAt
+		}
+	}
+	return &agg
+}
+
 // Result describes one completed RunResult call.
 type Result struct {
 	elapsed Duration
 	metrics *Metrics
+	heal    *HealReport
 }
 
 // Elapsed is the virtual time the program took (from launch to the last
@@ -324,13 +424,18 @@ func (r *Result) Elapsed() Duration { return r.elapsed }
 // or nil without WithMetrics.
 func (r *Result) Metrics() *Metrics { return r.metrics }
 
+// Heal is the aggregated self-healing report taken right after the run,
+// or nil without WithSelfHealing (see System.Heal for the aggregation
+// rules).
+func (r *Result) Heal() *HealReport { return r.heal }
+
 // RunResult is Run plus measurement: it executes the program and
 // returns how long it took in virtual time together with a metrics
 // snapshot (when WithMetrics is active). The error is Run's error.
 func (s *System) RunResult(program func(r *Rank)) (*Result, error) {
 	t0 := s.chip.Now()
 	err := s.Run(program)
-	return &Result{elapsed: s.chip.Now() - t0, metrics: s.Metrics()}, err
+	return &Result{elapsed: s.chip.Now() - t0, metrics: s.Metrics(), heal: s.Heal()}, err
 }
 
 // Rank is the per-core handle inside a Run program: private memory,
@@ -339,21 +444,48 @@ func (s *System) RunResult(program func(r *Rank)) (*Result, error) {
 type Rank struct {
 	core *scc.Core
 	ue   *rcce.UE
-	ctx  *core.Ctx   // nil for RCKMPI
+	ctx  *core.Ctx   // nil for RCKMPI and evicted ranks
 	mpi  *rckmpi.Lib // nil for core stacks
+	// evicted holds the typed error a rank evicted by an earlier
+	// membership agreement gets from every collective call.
+	evicted error
 }
 
 func (s *System) newRank(c *scc.Core) *Rank {
 	r := &Rank{core: c, ue: s.comm.UE(c.ID)}
 	if s.cfg.stack == StackRCKMPI {
 		r.mpi = rckmpi.New(r.ue)
-	} else {
-		cfg := s.cfg.stack.coreConfig()
-		cfg.Recovery = s.cfg.recovery
-		cfg.Selector = s.cfg.selector
-		r.ctx = core.NewCtx(r.ue, cfg)
+		return r
 	}
+	cfg := s.cfg.stack.coreConfig()
+	cfg.Recovery = s.cfg.recovery
+	cfg.Selector = s.cfg.selector
+	if s.cfg.selfheal != nil {
+		cfg.SelfHeal = s.cfg.selfheal
+		h := s.healers[c.ID]
+		if h == nil {
+			h = core.NewHealer(r.ue, *s.cfg.selfheal)
+			s.healers[c.ID] = h
+		}
+		ctx, err := core.NewCtxHealer(r.ue, cfg, h)
+		if err != nil {
+			r.evicted = err
+			return r
+		}
+		r.ctx = ctx
+		return r
+	}
+	r.ctx = core.NewCtx(r.ue, cfg)
 	return r
+}
+
+// collectiveCtx returns the rank's context, or the eviction error for a
+// rank an earlier membership agreement excluded.
+func (r *Rank) collectiveCtx() (*core.Ctx, error) {
+	if r.evicted != nil {
+		return nil, r.evicted
+	}
+	return r.ctx, nil
 }
 
 // checkRoot validates a root rank for the RCKMPI comparator paths (the
@@ -404,7 +536,11 @@ func (r *Rank) Barrier() error {
 		r.ue.Barrier()
 		return nil
 	}
-	return r.ctx.Barrier()
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Barrier()
 }
 
 // Allreduce sums n float64 values element-wise across all ranks,
@@ -417,7 +553,11 @@ func (r *Rank) Allreduce(src, dst Addr, n int) error {
 		r.mpi.Allreduce(src, dst, n, func(a, b float64) float64 { return a + b })
 		return nil
 	}
-	return r.ctx.Allreduce(src, dst, n, core.Sum)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Allreduce(src, dst, n, core.Sum)
 }
 
 // AllreduceOp is Allreduce with a custom associative operator.
@@ -429,7 +569,11 @@ func (r *Rank) AllreduceOp(src, dst Addr, n int, op func(a, b float64) float64) 
 		r.mpi.Allreduce(src, dst, n, op)
 		return nil
 	}
-	return r.ctx.Allreduce(src, dst, n, core.Op(op))
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Allreduce(src, dst, n, core.Op(op))
 }
 
 // Reduce reduces to the root rank only.
@@ -444,7 +588,11 @@ func (r *Rank) Reduce(root int, src, dst Addr, n int) error {
 		r.mpi.Reduce(root, src, dst, n, func(a, b float64) float64 { return a + b })
 		return nil
 	}
-	return r.ctx.Reduce(root, src, dst, n, core.Sum)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Reduce(root, src, dst, n, core.Sum)
 }
 
 // Broadcast distributes n values at addr from root to every rank.
@@ -459,7 +607,11 @@ func (r *Rank) Broadcast(root int, addr Addr, n int) error {
 		r.mpi.Bcast(root, addr, n)
 		return nil
 	}
-	return r.ctx.Broadcast(root, addr, n)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Broadcast(root, addr, n)
 }
 
 // Allgather concatenates each rank's nPer values into dst (N()*nPer,
@@ -472,7 +624,11 @@ func (r *Rank) Allgather(src Addr, nPer int, dst Addr) error {
 		r.mpi.Allgather(src, nPer, dst)
 		return nil
 	}
-	return r.ctx.Allgather(src, nPer, dst)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Allgather(src, nPer, dst)
 }
 
 // Alltoall exchanges nPer-value blocks between every pair of ranks.
@@ -484,7 +640,11 @@ func (r *Rank) Alltoall(src, dst Addr, nPer int) error {
 		r.mpi.Alltoall(src, dst, nPer)
 		return nil
 	}
-	return r.ctx.Alltoall(src, dst, nPer)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Alltoall(src, dst, nPer)
 }
 
 // ReduceScatter reduces element-wise and scatters blocks; dst receives
@@ -497,7 +657,11 @@ func (r *Rank) ReduceScatter(src, dst Addr, n int) error {
 		r.mpi.ReduceScatter(src, dst, n, func(a, b float64) float64 { return a + b })
 		return nil
 	}
-	_, err := r.ctx.ReduceScatter(src, dst, n, core.Sum)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	_, err = x.ReduceScatter(src, dst, n, core.Sum)
 	return err
 }
 
@@ -527,7 +691,11 @@ func (r *Rank) Scatter(root int, src Addr, nPer int, dst Addr) error {
 		r.mpi.Recv(root, dst, 8*nPer)
 		return nil
 	}
-	return r.ctx.Scatter(root, src, nPer, dst)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Scatter(root, src, nPer, dst)
 }
 
 // Gather collects each rank's nPer values into the root's dst buffer,
@@ -555,7 +723,11 @@ func (r *Rank) Gather(root int, src Addr, nPer int, dst Addr) error {
 		r.mpi.Send(root, src, 8*nPer)
 		return nil
 	}
-	return r.ctx.Gather(root, src, nPer, dst)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Gather(root, src, nPer, dst)
 }
 
 // Scan computes an inclusive prefix sum: rank k's dst receives the
@@ -565,12 +737,26 @@ func (r *Rank) Scan(src, dst Addr, n int) error {
 	if r.mpi != nil {
 		return fmt.Errorf("sccsim: Scan: %w: not implemented by the RCKMPI comparator", ErrInvalid)
 	}
-	return r.ctx.Scan(src, dst, n, core.Sum)
+	x, err := r.collectiveCtx()
+	if err != nil {
+		return err
+	}
+	return x.Scan(src, dst, n, core.Sum)
 }
 
 // Recovery reports this rank's accumulated hardened-protocol statistics
 // (all zero unless WithRecovery is active and faults occurred).
 func (r *Rank) Recovery() rcce.RecoveryStats { return r.ue.Recovery() }
+
+// HealReport returns this rank's self-healing activity, or nil without
+// WithSelfHealing.
+func (r *Rank) HealReport() *HealReport {
+	if r.ctx == nil || r.ctx.Healer() == nil {
+		return nil
+	}
+	rep := r.ctx.Healer().Report()
+	return &rep
+}
 
 // SetFrequencyDivider changes this rank's core clock divider
 // (RCCE_power-style DVFS; the SCC derives tile clocks from a 1600 MHz

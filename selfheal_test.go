@@ -1,0 +1,157 @@
+package sccsim_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	sccsim "scc"
+	"scc/internal/simtime"
+)
+
+// healRun executes reps Allreduce calls of n elements under
+// self-healing with core victim killed at killAt, returning per-core
+// final values, per-core errors, final member counts and the elapsed
+// virtual time.
+func healRun(t *testing.T, algo string, n, victim int, killAt sccsim.Duration, reps int) (map[int]float64, map[int]error, map[int]int, sccsim.Duration) {
+	t.Helper()
+	plan := sccsim.NewFaultPlan()
+	plan.Add(sccsim.Fault{Kind: sccsim.FaultCoreDie, At: simtime.Time(killAt), Core: victim})
+	opts := []sccsim.Option{
+		sccsim.WithFaults(plan),
+		sccsim.WithSelfHealing(sccsim.DefaultHealPolicy()),
+	}
+	if algo != "" {
+		opts = append(opts, sccsim.WithAlgorithm(algo))
+	}
+	sys := sccsim.New(opts...)
+
+	var mu sync.Mutex
+	vals := make(map[int]float64)
+	errs := make(map[int]error)
+	members := make(map[int]int)
+	res, err := sys.RunResult(func(r *sccsim.Rank) {
+		src := r.AllocF64(n)
+		dst := r.AllocF64(n)
+		buf := make([]float64, n)
+		for i := range buf {
+			buf[i] = float64(r.ID() + 1)
+		}
+		r.WriteF64s(src, buf)
+		var rerr error
+		for k := 0; k < reps && rerr == nil; k++ {
+			rerr = r.Allreduce(src, dst, n)
+		}
+		out := make([]float64, 1)
+		r.ReadF64s(dst, out)
+		rep := r.HealReport()
+		mu.Lock()
+		vals[r.ID()] = out[0]
+		errs[r.ID()] = rerr
+		if rep != nil {
+			members[r.ID()] = 48 - int(rep.Evicted)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("algo %q: run failed: %v", algo, err)
+	}
+	return vals, errs, members, res.Elapsed()
+}
+
+// TestSelfHealingAllreduceCoreDeath is the tentpole acceptance check: a
+// core killed mid-Allreduce with NO oracle (nobody calls DeadCores)
+// must leave every survivor with a completed collective over the agreed
+// survivor group, for every registered allreduce algorithm.
+func TestSelfHealingAllreduceCoreDeath(t *testing.T) {
+	const (
+		n      = 2048
+		victim = 17
+		reps   = 4
+	)
+	killAt := sccsim.Microseconds(400) // inside the first few collectives
+	for _, algo := range []string{"ring", "tree", "recdouble", "mpb", "linear"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			vals, errs, _, _ := healRun(t, algo, n, victim, killAt, reps)
+			// Survivor sum: every core contributes ID+1; the victim's
+			// contribution is gone from the re-executed epoch.
+			want := 0.0
+			for id := 0; id < 48; id++ {
+				if id != victim {
+					want += float64(id + 1)
+				}
+			}
+			completed := 0
+			for id := 0; id < 48; id++ {
+				if id == victim {
+					continue
+				}
+				err := errs[id]
+				if err != nil {
+					// A typed, honest error is permitted for cores on the
+					// wrong side of an agreement window, never a wrong value.
+					if !errors.Is(err, sccsim.ErrUnreachable) &&
+						!errors.Is(err, sccsim.ErrEvicted) &&
+						!errors.Is(err, sccsim.ErrNoQuorum) &&
+						!errors.Is(err, sccsim.ErrHealGiveUp) {
+						t.Fatalf("core %d: untyped error: %v", id, err)
+					}
+					continue
+				}
+				completed++
+				if vals[id] != want {
+					t.Errorf("core %d: dst = %v, want survivor sum %v", id, vals[id], want)
+				}
+			}
+			// The quorum rule guarantees a strict majority completes.
+			if completed < 48/2+1 {
+				t.Fatalf("only %d cores completed, want a majority", completed)
+			}
+		})
+	}
+}
+
+// TestSelfHealingDeterministic pins the reproducibility guarantee:
+// same-seed (here: same plan) self-healing runs are bit-identical in
+// results and virtual time.
+func TestSelfHealingDeterministic(t *testing.T) {
+	killAt := sccsim.Microseconds(350)
+	v1, e1, _, t1 := healRun(t, "ring", 1024, 11, killAt, 3)
+	v2, e2, _, t2 := healRun(t, "ring", 1024, 11, killAt, 3)
+	if t1 != t2 {
+		t.Fatalf("elapsed differs across identical runs: %d vs %d ticks", t1, t2)
+	}
+	for id := 0; id < 48; id++ {
+		if v1[id] != v2[id] {
+			t.Errorf("core %d: value differs: %v vs %v", id, v1[id], v2[id])
+		}
+		if (e1[id] == nil) != (e2[id] == nil) {
+			t.Errorf("core %d: error presence differs: %v vs %v", id, e1[id], e2[id])
+		}
+	}
+}
+
+// TestCoreDeathWithoutRecoveryTyped (satellite): mid-run core death
+// with no recovery configured must surface a typed ErrCoreDead from
+// Run, not a bare deadlock report.
+func TestCoreDeathWithoutRecoveryTyped(t *testing.T) {
+	plan := sccsim.NewFaultPlan()
+	plan.Add(sccsim.Fault{Kind: sccsim.FaultCoreDie, At: simtime.Time(sccsim.Microseconds(200)), Core: 5})
+	sys := sccsim.New(sccsim.WithFaults(plan))
+	err := sys.Run(func(r *sccsim.Rank) {
+		src := r.AllocF64(512)
+		dst := r.AllocF64(512)
+		for k := 0; k < 4; k++ {
+			if err := r.Allreduce(src, dst, 512); err != nil {
+				return
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("run with a dead core and no recovery unexpectedly succeeded")
+	}
+	if !errors.Is(err, sccsim.ErrCoreDead) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrCoreDead)", err)
+	}
+}
