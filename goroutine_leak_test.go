@@ -1,0 +1,52 @@
+package sccsim_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	sccsim "scc"
+	"scc/internal/simtime"
+)
+
+// The scheduler hands the control token between process goroutines
+// directly, so every abnormal exit must unwind 48 parked goroutines by
+// hand. This pins the chaos-kill path end to end: an injected core
+// death panics the victim's process, the survivors deadlock, Run
+// returns a typed ErrCoreDead — and nothing is left parked on a resume
+// channel.
+func TestChaosKillLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	plan := sccsim.NewFaultPlan()
+	plan.Add(sccsim.Fault{Kind: sccsim.FaultCoreDie, At: simtime.Time(sccsim.Microseconds(150)), Core: 7})
+	sys := sccsim.New(sccsim.WithFaults(plan))
+	err := sys.Run(func(r *sccsim.Rank) {
+		src := r.AllocF64(256)
+		dst := r.AllocF64(256)
+		for k := 0; k < 4; k++ {
+			if err := r.Allreduce(src, dst, 256); err != nil {
+				return
+			}
+		}
+	})
+	if !errors.Is(err, sccsim.ErrCoreDead) {
+		t.Fatalf("err = %v, want ErrCoreDead", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("chaos kill leaked %d goroutines past baseline %d\n%s",
+				runtime.NumGoroutine()-base, base, buf)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

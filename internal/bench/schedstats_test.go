@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// measureSchedStats runs one collective program on a fresh chip and
+// returns the scheduler's handoff and fast-path counters.
+func measureSchedStats(t *testing.T, op Op, st Stack, n int) (handoffs, fastpath uint64) {
+	t.Helper()
+	model := timing.Default()
+	chip := scc.New(model)
+	comm := rcce.NewComm(chip)
+	perRep := make([]simtime.Duration, 1)
+	chip.Launch(func(c *scc.Core) {
+		runCollectiveProgram(c, comm, op, st, n, 1, perRep)
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatalf("%s/%s n=%d: %v", op, st.Name, n, err)
+	}
+	return chip.Engine.SchedStats()
+}
+
+// TestFastPathCarriesRealCollectives pins the same-proc fast path on
+// actual protocol workloads, not just the microbenchmark. With 48 cores
+// live the event queue is rarely empty, so most events still pay the
+// (single) handoff — measured hit rates run 1.5–11% across the stacks —
+// but the path must keep firing where it applies: a collapse to zero
+// means the fused Sleep condition rotted and even uncontended stretches
+// pay the channel rendezvous.
+func TestFastPathCarriesRealCollectives(t *testing.T) {
+	for _, st := range StacksFor(OpAllreduce) {
+		h, f := measureSchedStats(t, OpAllreduce, st, 552)
+		total := h + f
+		if total == 0 {
+			t.Fatalf("%s: no events recorded", st.Name)
+		}
+		rate := float64(f) / float64(total)
+		t.Logf("allreduce/%s n=552: handoffs=%d fastpath=%d hit-rate=%.1f%%",
+			st.Name, h, f, 100*rate)
+		if rate < 0.005 {
+			t.Errorf("allreduce/%s: fast-path hit rate %.2f%% — fused Sleep no longer firing on protocol code",
+				st.Name, 100*rate)
+		}
+	}
+}

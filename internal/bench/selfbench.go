@@ -94,6 +94,44 @@ func SelfBench(model *timing.Model, workers int) []SelfBenchResult {
 		}
 	}))
 
+	// Micro: the pure cross-goroutine handoff. Two processes whose
+	// wake-ups strictly alternate, so every event pays exactly one channel
+	// rendezvous and zero fast-path hits — the scheduler's floor when
+	// control must change goroutines.
+	const handoffs = 1_000_000
+	heng := simtime.NewEngine()
+	heng.Spawn("a", func(p *simtime.Proc) {
+		p.Sleep(1)
+		for i := 0; i < handoffs/2; i++ {
+			p.Sleep(2)
+		}
+	})
+	heng.Spawn("b", func(p *simtime.Proc) {
+		for i := 0; i < handoffs/2; i++ {
+			p.Sleep(2)
+		}
+	})
+	out = append(out, measureLoop("simtime.Handoff", handoffs, func() {
+		if err := heng.Run(); err != nil {
+			panic(fmt.Sprintf("selfbench handoff: %v", err))
+		}
+	}))
+
+	// Micro: the same-proc fast path. A single process sleeping against an
+	// empty queue advances the clock inline — no queue, no channel.
+	const fastSleeps = 20_000_000
+	feng := simtime.NewEngine()
+	feng.Spawn("solo", func(p *simtime.Proc) {
+		for i := 0; i < fastSleeps; i++ {
+			p.Sleep(3)
+		}
+	})
+	out = append(out, measureLoop("simtime.SameProcFastPath", fastSleeps, func() {
+		if err := feng.Run(); err != nil {
+			panic(fmt.Sprintf("selfbench fast path: %v", err))
+		}
+	}))
+
 	// Macro: one full 48-core Allreduce at the paper's application size.
 	lw := Stack{Name: "lightweight non-blocking", Cfg: core.ConfigLightweight}
 	out = append(out, measureLoop("chip.Allreduce48", 1, func() {

@@ -25,16 +25,33 @@ type event struct {
 	gen uint64
 }
 
-// eventQueue is a 4-ary min-heap of events ordered by (at, seq). It is
-// hand-rolled rather than built on container/heap: the concrete element
-// type avoids the interface{} boxing allocation on every Push, and the
-// wider fan-out halves the tree depth, so the event loop — the
-// simulator's ultimate inner loop — touches fewer cache lines per
-// operation. (at, seq) is a total order because seq is unique, so the
-// pop sequence is identical to the old binary-heap implementation.
-type eventQueue []event
+// eventQueue is a sorted ring deque of events ordered ascending by
+// (at, seq). It replaced the 4-ary min-heap when the scheduler moved to
+// direct handoff: with the context-switch tax halved, the heap's
+// O(log n) sift-down on every pop became the next largest term. The
+// deque makes pop O(1) — take the head, advance the ring index — and
+// puts the cost on push, where the simulator's real insertion patterns
+// are nearly free: a sleeping process schedules the latest event so far
+// (append at the tail, zero shifts), and a Broadcast schedules at the
+// current instant (insert at or near the head, shifting only the
+// same-time band). Arbitrary deadlines (WaitOnTimeout) binary-search
+// their slot and shift the smaller side. (at, seq) is a total order
+// because seq is unique, so the pop sequence is identical to both heap
+// implementations before it; TestEventQueueMatchesContainerHeap pins
+// that.
+//
+// The zero value is an empty queue.
+type eventQueue struct {
+	buf  []event // ring storage; len(buf) is zero or a power of two
+	head int     // ring index of the minimum event
+	n    int     // live events
+}
 
-func (h eventQueue) Len() int { return len(h) }
+func (h *eventQueue) Len() int { return h.n }
+
+// min returns the minimum event without removing it. The queue must be
+// non-empty.
+func (h *eventQueue) min() *event { return &h.buf[h.head] }
 
 func eventLess(a, b event) bool {
 	if a.at != b.at {
@@ -43,56 +60,81 @@ func eventLess(a, b event) bool {
 	return a.seq < b.seq
 }
 
-// push inserts e, sifting it up toward the root.
+// push inserts e at its sorted position.
 func (h *eventQueue) push(e event) {
-	q := append(*h, e)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !eventLess(q[i], q[parent]) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
+	if h.n == len(h.buf) {
+		h.grow()
 	}
-	*h = q
+	mask := len(h.buf) - 1
+	// Tail fast path: the new event sorts after everything queued (every
+	// Sleep in a forward-moving simulation lands here).
+	if h.n == 0 || !eventLess(e, h.buf[(h.head+h.n-1)&mask]) {
+		h.buf[(h.head+h.n)&mask] = e
+		h.n++
+		return
+	}
+	// Binary search the logical positions [0, n) for the first event
+	// that sorts after e; unique (at, seq) keys mean no equal case.
+	lo, hi := 0, h.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventLess(e, h.buf[(h.head+mid)&mask]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Insert at logical position lo, shifting whichever side is smaller.
+	if lo >= h.n-lo {
+		for i := h.n; i > lo; i-- {
+			h.buf[(h.head+i)&mask] = h.buf[(h.head+i-1)&mask]
+		}
+		h.buf[(h.head+lo)&mask] = e
+	} else {
+		h.head = (h.head - 1) & mask
+		for i := 0; i < lo; i++ {
+			h.buf[(h.head+i)&mask] = h.buf[(h.head+i+1)&mask]
+		}
+		h.buf[(h.head+lo)&mask] = e
+	}
+	h.n++
 }
 
 // pop removes and returns the minimum event. The queue must be non-empty.
 func (h *eventQueue) pop() event {
-	q := *h
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q = q[:n]
-	*h = q
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		min := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if eventLess(q[c], q[min]) {
-				min = c
-			}
-		}
-		if !eventLess(q[min], q[i]) {
-			break
-		}
-		q[i], q[min] = q[min], q[i]
-		i = min
+	e := h.buf[h.head]
+	h.head = (h.head + 1) & (len(h.buf) - 1)
+	h.n--
+	return e
+}
+
+// grow doubles the ring, linearizing the live events to the front.
+func (h *eventQueue) grow() {
+	c := len(h.buf) * 2
+	if c == 0 {
+		c = 64
 	}
-	return top
+	nb := make([]event, c)
+	k := copy(nb, h.buf[h.head:])
+	copy(nb[k:], h.buf[:h.head])
+	h.buf = nb
+	h.head = 0
 }
 
 // Engine is a deterministic discrete-event scheduler. Create one with
 // NewEngine, add processes with Spawn, then call Run.
+//
+// Scheduling is by direct handoff: there is no central dispatcher
+// goroutine ping-ponging with the processes. Exactly one goroutine —
+// one process, or the Run caller at the very start and end — holds the
+// control token at any instant and therefore owns all engine state.
+// When the running process blocks, it pops the next runnable event
+// itself and resumes that event's process directly (one channel
+// operation per event); when the next event is its own wake-up, it
+// just advances the clock and keeps running (zero channel operations,
+// the same-proc fast path). The Run caller parks on the root channel
+// and is handed the token back only to report the outcome: completion,
+// deadlock, a propagated panic, or the RunUntil limit.
 //
 // The zero value is not usable.
 type Engine struct {
@@ -103,14 +145,31 @@ type Engine struct {
 	live   int // processes that have not finished
 	failed error
 
+	// root parks the Run caller while processes hand control among
+	// themselves; the process that ends the run (last finisher, deadlock
+	// or limit detector, panicking process) sends the token back here.
+	root chan struct{}
+	// shuttingDown redirects every unwinding process straight back to
+	// the root channel so Engine.shutdown can reap victims one at a time.
+	shuttingDown bool
+
 	// RunUntil state: abort when an event beyond limit is popped.
 	limit   Time
 	limited bool
+	// limitHit/limitAt carry the abort from the process that popped the
+	// offending event back to Run, which formats the error.
+	limitHit bool
+	limitAt  Time
+
+	// Scheduler statistics: events delivered by cross-goroutine handoff
+	// vs. absorbed inline by the same-proc fast path.
+	handoffs uint64
+	fastpath uint64
 }
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{root: make(chan struct{}, 1)}
 }
 
 // Now reports the current virtual time. During Run this is the timestamp
@@ -120,19 +179,27 @@ func (e *Engine) Now() Time { return e.now }
 // Procs returns the processes spawned so far, in spawn order.
 func (e *Engine) Procs() []*Proc { return e.procs }
 
+// SchedStats reports how many events have been delivered by a
+// cross-goroutine handoff and how many were absorbed inline by the
+// same-proc fast path since the engine was created. Their sum is the
+// total number of events executed; fastpath/(handoffs+fastpath) is the
+// fast-path hit rate.
+func (e *Engine) SchedStats() (handoffs, fastpath uint64) {
+	return e.handoffs, e.fastpath
+}
+
 // Spawn registers a new process that will begin executing fn at time 0
 // when Run is called. The name is used in diagnostics. fn runs on its own
-// goroutine but only while the engine has handed it control; it must use
-// the Proc's blocking methods (Sleep, WaitOn, ...) rather than real-time
-// synchronization.
+// goroutine but only while it holds the engine's control token; it must
+// use the Proc's blocking methods (Sleep, WaitOn, ...) rather than
+// real-time synchronization.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		id:     len(e.procs),
 		name:   name,
 		eng:    e,
 		fn:     fn,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		resume: make(chan struct{}, 1),
 	}
 	e.procs = append(e.procs, p)
 	return p
@@ -155,6 +222,9 @@ func (e *Engine) schedule(p *Proc, at Time) {
 // previous Run start at the current virtual time, so a sequence of
 // programs accumulates time on one engine.
 func (e *Engine) Run() error {
+	if e.root == nil {
+		e.root = make(chan struct{}, 1)
+	}
 	e.live = 0
 	for _, p := range e.procs {
 		if p.done {
@@ -166,36 +236,123 @@ func (e *Engine) Run() error {
 		}
 		e.live++
 	}
-	for e.live > 0 {
-		if e.queue.Len() == 0 {
-			err := e.deadlockError()
-			e.shutdown()
-			return err
-		}
-		ev := e.queue.pop()
-		if ev.proc.done {
-			continue // stale wake-up for a finished process
-		}
-		if ev.gen != ev.proc.wakeGen {
-			continue // stale wake-up: the process was resumed by another source
-		}
-		if e.limited && ev.at > e.limit {
-			err := fmt.Errorf("%w: next event at %v > limit %v", ErrTimeLimit, ev.at, e.limit)
-			e.shutdown()
-			return err
-		}
-		e.now = ev.at
-		ev.proc.runOnce()
-		if ev.proc.done {
-			e.live--
-		}
-		if e.failed != nil {
-			err := e.failed
-			e.shutdown()
-			return err
-		}
+	if e.live == 0 {
+		return nil
+	}
+	// Hand the control token to the first runnable event's process, then
+	// park until the token comes back with the run's outcome.
+	if e.dispatchFromRoot() {
+		<-e.root
+	}
+	if e.failed != nil {
+		err := e.failed
+		e.shutdown()
+		return err
+	}
+	if e.limitHit {
+		e.limitHit = false
+		err := fmt.Errorf("%w: next event at %v > limit %v", ErrTimeLimit, e.limitAt, e.limit)
+		e.shutdown()
+		return err
+	}
+	if e.live > 0 {
+		err := e.deadlockError()
+		e.shutdown()
+		return err
 	}
 	return nil
+}
+
+// dispatchFromRoot pops the next runnable event and resumes its process,
+// reporting whether a handoff happened. False means the Run caller keeps
+// the token: the queue drained with live processes remaining (deadlock)
+// or the first event already lies beyond the RunUntil limit.
+func (e *Engine) dispatchFromRoot() bool {
+	for {
+		if e.queue.n == 0 {
+			return false
+		}
+		ev := e.queue.pop()
+		if ev.proc.done || ev.gen != ev.proc.wakeGen {
+			continue
+		}
+		if e.limited && ev.at > e.limit {
+			e.limitHit, e.limitAt = true, ev.at
+			return false
+		}
+		e.now = ev.at
+		e.handoffs++
+		ev.proc.resume <- struct{}{}
+		return true
+	}
+}
+
+// next is called by a blocked process that has already arranged its
+// future wake-up (a scheduled event or a signal registration). It pops
+// the next runnable event and either returns inline — the same-proc
+// fast path, when the event is the caller's own wake-up — or resumes
+// the event's process and parks until this process is woken in turn.
+// When no event remains (deadlock) or an event beyond the RunUntil
+// limit surfaces, the token goes back to Run and the caller parks until
+// Engine.shutdown reaps it.
+func (e *Engine) next(p *Proc) {
+	for {
+		if e.queue.n == 0 {
+			e.root <- struct{}{}
+			<-p.resume
+			return
+		}
+		ev := e.queue.pop()
+		if ev.proc.done || ev.gen != ev.proc.wakeGen {
+			continue
+		}
+		if e.limited && ev.at > e.limit {
+			e.limitHit, e.limitAt = true, ev.at
+			e.root <- struct{}{}
+			<-p.resume
+			return
+		}
+		e.now = ev.at
+		if ev.proc == p {
+			e.fastpath++
+			return
+		}
+		e.handoffs++
+		ev.proc.resume <- struct{}{}
+		<-p.resume
+		return
+	}
+}
+
+// finish is the tail of every process goroutine: the process is done
+// (normally, by panic, or killed), so pass the control token on — to the
+// next event's process, or back to Run when the simulation is over
+// (nothing live, nothing runnable, a recorded failure, or a shutdown in
+// progress).
+func (e *Engine) finish() {
+	if e.shuttingDown || e.failed != nil || e.live == 0 {
+		e.root <- struct{}{}
+		return
+	}
+	for {
+		if e.queue.n == 0 {
+			e.root <- struct{}{} // survivors are deadlocked
+			return
+		}
+		ev := e.queue.pop()
+		if ev.proc.done || ev.gen != ev.proc.wakeGen {
+			continue
+		}
+		if e.limited && ev.at > e.limit {
+			e.limitHit, e.limitAt = true, ev.at
+			e.root <- struct{}{}
+			return
+		}
+		e.now = ev.at
+		e.handoffs++
+		ev.proc.resume <- struct{}{}
+		return
+	}
 }
 
 // RunUntil executes like Run but aborts (with ErrTimeLimit) as soon as
@@ -216,15 +373,19 @@ var ErrTimeLimit = errors.New("simtime: virtual time limit exceeded")
 
 // shutdown force-terminates every still-blocked process goroutine so that
 // a failed simulation does not leak goroutines. Each victim is resumed
-// once with its killed flag set; Proc.block panics with killSentinel,
-// which the process wrapper swallows.
+// once with its killed flag set; Proc.block panics with killSentinel, the
+// process wrapper swallows it, and finish hands the token straight back
+// here (shuttingDown), one victim at a time.
 func (e *Engine) shutdown() {
+	e.shuttingDown = true
 	for _, p := range e.procs {
 		if !p.done && p.started {
 			p.killed = true
-			p.runOnce()
+			p.resume <- struct{}{}
+			<-e.root
 		}
 	}
+	e.shuttingDown = false
 }
 
 func (e *Engine) deadlockError() error {

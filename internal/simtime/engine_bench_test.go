@@ -23,9 +23,86 @@ func BenchmarkEventLoop(b *testing.B) {
 	}
 }
 
-// BenchmarkEventQueue isolates the heap itself (no goroutine handoff):
-// push/pop cycles at a steady queue depth of 48, the simulator's
-// standing population.
+// BenchmarkHandoff isolates the direct-handoff path: two processes whose
+// wake-ups strictly alternate, so every Sleep finds the other process's
+// event at the head of the queue and must hand the control token across
+// goroutines. Zero fast-path hits by construction.
+func BenchmarkHandoff(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	per := b.N/2 + 1
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(1) // offset so the two wake chains interleave: 1,3,5,... vs 2,4,6,...
+		for i := 0; i < per; i++ {
+			p.Sleep(2)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < per; i++ {
+			p.Sleep(2)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if h, f := e.SchedStats(); int(h) < b.N || f > 2 {
+		b.Fatalf("not a pure handoff workload: handoffs=%d fastpath=%d N=%d", h, f, b.N)
+	}
+}
+
+// BenchmarkSameProcFastPath isolates the fused Sleep fast path: a single
+// process sleeping with an empty queue advances the clock inline with no
+// queue operation and no channel operation at all.
+func BenchmarkSameProcFastPath(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	n := b.N
+	e.Spawn("solo", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(3)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if _, f := e.SchedStats(); int(f) < b.N {
+		b.Fatalf("fast path missed: fastpath=%d N=%d", f, b.N)
+	}
+}
+
+// BenchmarkTimeoutManyWaiters measures WaitOnTimeout's loser
+// deregistration under a crowded signal: 512 waiters all time out every
+// round, so each op is one register + one timed-out deregistration. With
+// the seed's linear scan-and-splice this was O(waiters) per op; the
+// recorded-index scheme is O(1) amortized.
+func BenchmarkTimeoutManyWaiters(b *testing.B) {
+	b.ReportAllocs()
+	const waiters = 512
+	e := NewEngine()
+	var sig Signal
+	per := b.N/waiters + 1
+	for w := 0; w < waiters; w++ {
+		e.Spawn("waiter", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				if p.WaitOnTimeout(&sig, 5, Site("bench")) {
+					panic("unexpected signal")
+				}
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventQueue isolates the event queue itself (no goroutine
+// handoff): push/pop cycles at a steady queue depth of 48, the
+// simulator's standing population.
 func BenchmarkEventQueue(b *testing.B) {
 	b.ReportAllocs()
 	var q eventQueue

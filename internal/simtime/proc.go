@@ -11,8 +11,12 @@ type Proc struct {
 	eng  *Engine
 	fn   func(*Proc)
 
-	resume chan struct{} // engine -> proc: you may run
-	yield  chan struct{} // proc -> engine: I am blocked or done
+	// resume delivers the engine's control token to this process. It is
+	// the only channel a process owns: blocking hands the token directly
+	// to the next event's process (see Engine.next), so one event costs
+	// at most one channel operation, and none at all on the same-proc
+	// fast path.
+	resume chan struct{}
 
 	done      bool
 	killed    bool     // set by Engine.shutdown to abort the goroutine
@@ -23,6 +27,10 @@ type Proc struct {
 	// wakeGen counts resumes. Events snapshot it at schedule time so the
 	// engine can discard wake-ups that lost a race (see event.gen).
 	wakeGen uint64
+	// waitIdx is this process's slot in the waiter list of the signal it
+	// is (or last was) registered on, so a timed-out WaitOnTimeout can
+	// deregister in O(1) instead of scanning the list.
+	waitIdx int
 }
 
 // killSentinel is the panic value used to unwind force-terminated process
@@ -57,7 +65,8 @@ func (p *Proc) start() {
 				}
 			}
 			p.done = true
-			p.yield <- struct{}{}
+			p.eng.live--
+			p.eng.finish()
 		}()
 		if p.killed {
 			return
@@ -66,20 +75,12 @@ func (p *Proc) start() {
 	}()
 }
 
-// runOnce hands control to the process goroutine and waits for it to block
-// again (or finish). Called only by the engine loop.
-func (p *Proc) runOnce() {
-	p.resume <- struct{}{}
-	<-p.yield
-}
-
-// block yields control back to the engine and waits to be resumed. The
-// caller must have arranged for a future wake-up (a scheduled event or a
-// signal registration) first.
+// block yields control to the next event's process and waits to be
+// resumed. The caller must have arranged for a future wake-up (a
+// scheduled event or a signal registration) first.
 func (p *Proc) block(site WaitSite) {
 	p.blockedAt = site
-	p.yield <- struct{}{}
-	<-p.resume
+	p.eng.next(p)
 	p.wakeGen++ // any event scheduled before this resume is now stale
 	if p.killed {
 		panic(killSentinel{})
@@ -92,10 +93,23 @@ func (p *Proc) block(site WaitSite) {
 // still yields so that same-time events from other processes interleave
 // deterministically by schedule order.
 func (p *Proc) Sleep(d Duration) {
+	e := p.eng
 	if d < 0 {
 		d = 0
 	}
-	p.eng.schedule(p, p.eng.now+d)
+	at := e.now + d
+	// Same-proc fast path, fused with the queue: if no pending event can
+	// precede our wake-up (strictly — an equal-time event has a smaller
+	// sequence number and must run first), the wake-up would be the next
+	// event popped, so skip the queue and the handoff entirely and just
+	// advance the clock. Not applicable past a RunUntil limit: the abort
+	// must unwind through the slow path.
+	if (e.queue.n == 0 || at < e.queue.min().at) && !(e.limited && at > e.limit) {
+		e.fastpath++
+		e.now = at
+		return
+	}
+	e.schedule(p, at)
 	// A sleeping process always has a pending wake-up, so it can never
 	// appear in a deadlock report; a static label suffices.
 	p.block(siteSleep)
@@ -126,15 +140,23 @@ func (p *Proc) WaitOnTimeout(s *Signal, d Duration, site WaitSite) bool {
 		d = 0
 	}
 	p.eng.schedule(p, p.eng.now+d)
+	p.waitIdx = len(s.waiters)
 	s.waiters = append(s.waiters, p)
 	p.block(site)
-	// Broadcast removes its waiters from the list; if we are still
-	// registered, the timer won the race and we must deregister ourselves.
-	for i, w := range s.waiters {
-		if w == p {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-			return false
+	// Broadcast empties the waiter list; if our slot still holds us, the
+	// timer won the race and we must deregister. Clearing the slot (not
+	// splicing) keeps every other waiter's recorded index valid, so
+	// deregistration is O(1); Broadcast skips the hole.
+	if p.waitIdx < len(s.waiters) && s.waiters[p.waitIdx] == p {
+		s.waiters[p.waitIdx] = nil
+		s.holes++
+		// Without an eventual Broadcast the hole-ridden list would grow
+		// without bound under repeated timeouts; compact (preserving
+		// order, so wake order is unchanged) once holes dominate.
+		if s.holes > len(s.waiters)/2 && len(s.waiters) >= 16 {
+			s.compact()
 		}
+		return false
 	}
 	return true
 }
@@ -152,18 +174,47 @@ func (p *Proc) LastNote() Note { return p.note }
 // Signal is a broadcast wake-up point: processes block on it with WaitOn
 // and are all released by Broadcast. The zero value is ready to use.
 type Signal struct {
+	// waiters lists the blocked processes in registration order. A nil
+	// entry is a hole left by a timed-out WaitOnTimeout (see holes).
 	waiters []*Proc
+	// holes counts nil entries in waiters, so Waiters stays O(1).
+	holes int
 }
 
 // Broadcast wakes every process currently waiting on s at the present
 // virtual time. It must be called from within a running process or before
 // Run starts. Waiters resume in the order they began waiting.
 func (s *Signal) Broadcast(eng *Engine) {
-	for _, w := range s.waiters {
-		eng.schedule(w, eng.now)
+	for i, w := range s.waiters {
+		if w != nil {
+			eng.schedule(w, eng.now)
+		}
+		// Clear the slot before truncating: the backing array survives
+		// for the next waiters, and a retained *Proc would keep a
+		// finished process (and its closed-over state) from the GC.
+		s.waiters[i] = nil
 	}
 	s.waiters = s.waiters[:0]
+	s.holes = 0
+}
+
+// compact squeezes the holes out of the waiter list in place, keeping
+// registration order (so Broadcast wake order is unaffected) and fixing
+// up each survivor's recorded index.
+func (s *Signal) compact() {
+	w := s.waiters[:0]
+	for _, q := range s.waiters {
+		if q != nil {
+			q.waitIdx = len(w)
+			w = append(w, q)
+		}
+	}
+	for i := len(w); i < len(s.waiters); i++ {
+		s.waiters[i] = nil
+	}
+	s.waiters = w
+	s.holes = 0
 }
 
 // Waiters reports how many processes are currently blocked on s.
-func (s *Signal) Waiters() int { return len(s.waiters) }
+func (s *Signal) Waiters() int { return len(s.waiters) - s.holes }

@@ -7,10 +7,12 @@
 // exactly 2 ticks. One microsecond is 1600 ticks.
 //
 // Simulated programs run as processes (see Proc). Each process executes on
-// its own goroutine, but the engine runs exactly one process at a time and
-// hands control back and forth explicitly, so simulations are fully
-// deterministic: two runs of the same program produce identical event
-// orders and identical virtual timestamps.
+// its own goroutine, but exactly one runs at a time: a blocking process
+// pops the next event itself and hands control directly to that event's
+// process (or keeps running inline when the next event is its own
+// wake-up), so simulations are fully deterministic: two runs of the same
+// program produce identical event orders and identical virtual
+// timestamps.
 package simtime
 
 import "fmt"
