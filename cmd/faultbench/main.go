@@ -1,5 +1,5 @@
 // Command faultbench regenerates the robustness evaluation ("Fig. R1"):
-// completion latency of a hardened 48-core Allreduce against the number
+// completion latency of a hardened full-chip Allreduce against the number
 // of injected faults, for the blocking and lightweight transports. All
 // faults are drawn deterministically from -seed, so two runs with the
 // same flags produce bit-identical output.
@@ -11,6 +11,7 @@
 //	faultbench -faults 0,1,2,4,8,16,32 # denser fault axis
 //	faultbench -jitter 4               # de-correlated retransmit storms
 //	faultbench -selfheal               # Fig. R2: self-healing decomposition
+//	faultbench -mesh 8x8x2 -selfheal   # the same sweep on a 128-core mesh
 package main
 
 import (
@@ -24,7 +25,6 @@ import (
 	"scc/internal/core"
 	"scc/internal/rcce"
 	"scc/internal/simtime"
-	"scc/internal/timing"
 )
 
 func main() {
@@ -37,6 +37,8 @@ func main() {
 	jitter := flag.Int("jitter", 0, "deterministic retransmit jitter (0 = none; 4 stretches backed-off windows by up to 25%)")
 	selfheal := flag.Bool("selfheal", false, "run the self-healing sweep (Fig. R2) instead of the fault-count sweep: one core killed mid-Allreduce, detection/agreement/recovery decomposed per algorithm")
 	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
+	meshSpec := flag.String("mesh", "", "mesh geometry as ROWSxCOLSxCORES_PER_TILE, e.g. 8x8x2 (default: the paper's 4x6x2 chip)")
+	chipsSpec := flag.String("chips", "1", "chips joined by the inter-chip fabric (the fault and self-healing sweeps are single-chip, so only 1 is accepted)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -65,6 +67,17 @@ func main() {
 	if *jitter < 0 {
 		fail("-jitter must be non-negative, got %d", *jitter)
 	}
+	model, err := bench.ParseMeshSpec(*meshSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+	nChips, err := bench.ParseChips(*chipsSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+	if nChips != 1 {
+		fail("-chips=%d: the fault and self-healing sweeps are single-chip; use sccbench for hierarchical panels", nChips)
+	}
 	if *algo != "" {
 		if core.LookupAlgorithm(core.KindAllreduce, *algo) == nil {
 			fail("unknown allreduce algorithm %q (available: %s)",
@@ -90,7 +103,6 @@ func main() {
 		os.Exit(code)
 	}
 
-	model := timing.Default()
 	runner := bench.NewRunner(*parallel)
 	pol := rcce.Policy{Timeout: simtime.Microseconds(*timeoutUs), Backoff: 2, MaxRetries: *retries, Jitter: *jitter}
 
@@ -99,7 +111,8 @@ func main() {
 		heal.Detect.Jitter = *jitter
 		algos := core.AlgorithmNames(core.KindAllreduce)
 		fracs := []float64{0.25, 0.5, 0.75}
-		fmt.Printf("Fig. R2: self-healing Allreduce, 48 cores, %d doubles, core %d killed mid-collective\n", *n, 17)
+		fmt.Printf("Fig. R2: self-healing Allreduce, %d cores (%s), %d doubles, core %d killed mid-collective\n",
+			model.NumCores(), bench.MeshLabel(model, 1), *n, bench.HealVictimFor(model.NumCores()))
 		fmt.Println("(no oracle: in-band detection, agreed membership, epoched re-execution;")
 		fmt.Println(" plain = hardened stack fault-free, oracle = survivors known for free,")
 		fmt.Println(" total = end-to-end with the kill, killat in fractions of each algo's plain run)")
@@ -115,7 +128,8 @@ func main() {
 		exit(0)
 	}
 
-	fmt.Printf("Fig. R1: hardened Allreduce, 48 cores, %d doubles, seed %d\n", *n, *seed)
+	fmt.Printf("Fig. R1: hardened Allreduce, %d cores (%s), %d doubles, seed %d\n",
+		model.NumCores(), bench.MeshLabel(model, 1), *n, *seed)
 	fmt.Printf("(completion latency vs injected fault count; timeout %dus, %d retries)\n", *timeoutUs, *retries)
 	if *algo != "" {
 		fmt.Printf("(allreduce algorithm pinned: %s)\n", *algo)

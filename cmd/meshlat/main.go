@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	from := flag.Int("from", 0, "core issuing the accesses (0..47)")
+	from := flag.Int("from", 0, "core issuing the accesses")
 	write := flag.Bool("write", false, "measure line writes instead of reads")
 	flag.Parse()
 

@@ -19,6 +19,8 @@
 //	sccbench -op allreduce -metrics             # instrumented run -> counter table
 //	sccbench -op allreduce -metrics -metricsout m.json -tracejson t.json
 //	                                            # JSON snapshot + Perfetto timeline
+//	sccbench -op allreduce -mesh 8x8x2          # the same panel on a 128-core mesh
+//	sccbench -op allreduce -chips 4             # hierarchical sweep over 4 fabric-joined chips
 package main
 
 import (
@@ -30,7 +32,6 @@ import (
 
 	"scc/internal/bench"
 	"scc/internal/core"
-	"scc/internal/timing"
 	"scc/internal/trace"
 )
 
@@ -60,6 +61,8 @@ func main() {
 	metricsout := flag.String("metricsout", "", "metrics snapshot path; .json or .csv by extension, default: text table on stdout (implies -metrics)")
 	tracejson := flag.String("tracejson", "", "write the instrumented run's timeline as Chrome Trace Event JSON, loadable in Perfetto (implies -metrics)")
 	stack := flag.String("stack", "balanced", "stack for the instrumented run: rckmpi, blocking, ircce, lwnb, balanced, or mpb")
+	meshSpec := flag.String("mesh", "", "mesh geometry as ROWSxCOLSxCORES_PER_TILE, e.g. 8x8x2 (default: the paper's 4x6x2 chip)")
+	chipsSpec := flag.String("chips", "1", "chips joined by the inter-chip fabric; >1 sweeps the hierarchical collectives (allreduce and broadcast panels only)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -81,6 +84,19 @@ func main() {
 	}
 	if *parallel < 0 {
 		fail("-parallel must be non-negative, got %d", *parallel)
+	}
+	model, err := bench.ParseMeshSpec(*meshSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+	model.HardwareBugFixed = *bugfixed
+	nChips, err := bench.ParseChips(*chipsSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+	if nChips > 1 && (*summary || *tune || *selfbench || *gate != "" ||
+		*metricsOn || *metricsout != "" || *tracejson != "") {
+		fail("-chips > 1 applies to the hierarchical panel sweep only (not -summary/-tune/-selfbench/-gate/-metrics)")
 	}
 
 	if *listAlgos {
@@ -123,8 +139,6 @@ func main() {
 		os.Exit(code)
 	}
 
-	model := timing.Default()
-	model.HardwareBugFixed = *bugfixed
 	runner := bench.NewRunner(*parallel)
 
 	if *metricsOn || *metricsout != "" || *tracejson != "" {
@@ -215,7 +229,7 @@ func main() {
 	}
 
 	if *tune {
-		table, cells, err := bench.Tune(runner, model, bench.DefaultTuneSpec())
+		table, cells, err := bench.Tune(runner, model, bench.TuneSpecFor(model.NumCores()))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sccbench:", err)
 			exit(1)
@@ -270,10 +284,24 @@ func main() {
 	}
 
 	sizes := bench.Sizes(*lo, *hi, *step)
-	panels := runner.PanelsAlgo(model, ops, *algo, sizes, *reps)
+	var panels [][]bench.Series
+	if nChips > 1 {
+		// Multi-chip: only the hierarchically-composed collectives sweep.
+		for _, o := range ops {
+			if o != bench.OpAllreduce && o != bench.OpBroadcast {
+				fail("-chips > 1 supports the hierarchical collectives (allreduce, broadcast), not -op %q", o)
+			}
+		}
+		for _, o := range ops {
+			panels = append(panels, []bench.Series{bench.HierSweep(model, nChips, *algo, o, sizes, *reps)})
+		}
+	} else {
+		panels = runner.PanelsAlgo(model, ops, *algo, sizes, *reps)
+	}
 	for i, o := range ops {
 		panel := panels[i]
-		title := fmt.Sprintf("Fig. 9 (%s): latency [us] vs vector size [doubles], 48 cores", o)
+		title := fmt.Sprintf("Fig. 9 (%s): latency [us] vs vector size [doubles], %s (%d cores)",
+			o, bench.MeshLabel(model, nChips), nChips*model.NumCores())
 		if *bugfixed {
 			title += " [hardware bug fixed]"
 		}
@@ -286,7 +314,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				exit(1)
 			}
-			if err := bench.WriteCSV(f, panel); err != nil {
+			if err := bench.WriteTopologyCSV(f, model, nChips, panel); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				exit(1)
 			}

@@ -26,7 +26,7 @@ func main() {
 	rounds := flag.Int("rounds", 3, "ring rounds to trace")
 	nElems := flag.Int("n", 64, "doubles exchanged per round")
 	width := flag.Int("width", 100, "timeline width in characters")
-	cores := flag.Int("cores", 4, "how many cores' rows to record (ring still spans all 48)")
+	cores := flag.Int("cores", 4, "how many cores' rows to record (the ring still spans the whole chip)")
 	chrome := flag.String("chrome", "", "also write the recorded spans as Chrome Trace Event JSON to this file (both schemes back to back, loadable in Perfetto)")
 	flag.Parse()
 

@@ -38,7 +38,7 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("%-36s sum=%v (want %d)   latency %v\n",
-			stack, sum0, 47*48/2, sys.Elapsed())
+			stack, sum0, (sys.NumCores()-1)*sys.NumCores()/2, sys.Elapsed())
 	}
 	fmt.Println("\nThe gap between the two lines is the paper's combined optimization")
 	fmt.Println("(relaxed synchronization + lightweight primitives + load balancing).")

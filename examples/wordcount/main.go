@@ -76,7 +76,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		want := 48 * wordsPerRank
+		want := sys.NumCores() * wordsPerRank
 		fmt.Printf("%-36s counted %.0f words (want %d) in %v\n",
 			stack, total, want, sys.Elapsed())
 	}

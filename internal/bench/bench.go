@@ -134,8 +134,8 @@ func StacksForAlgo(op Op, algo string) []Stack {
 	return s
 }
 
-// Measure runs one collective of the given vector size on a fresh
-// 48-core chip and returns the average latency over reps repetitions as
+// Measure runs one collective of the given vector size on a fresh chip
+// of the model's geometry and returns the average latency over reps repetitions as
 // observed on core 0 (like the paper's methodology; the first, cache-cold
 // repetition is treated as warm-up and excluded).
 func Measure(model *timing.Model, op Op, st Stack, n, reps int) simtime.Duration {

@@ -14,7 +14,7 @@ import (
 )
 
 // This file measures the robustness evaluation ("Fig. R1"): completion
-// latency of a hardened 48-core Allreduce as a function of the injected
+// latency of a hardened full-chip Allreduce as a function of the injected
 // fault count, per transport. Faults are drawn deterministically from a
 // seed, so every point — including the measured recovery latency — is
 // bit-identical across runs with the same seed.
@@ -29,7 +29,7 @@ type FaultPoint struct {
 	Wrong   int                // cores that completed with incorrect sums
 }
 
-// measureFaultedAllreduce runs one hardened 48-core Allreduce of n
+// measureFaultedAllreduce runs one hardened full-chip Allreduce of n
 // doubles under the given plan (nil = fault-free) and reports completion
 // latency, aggregated recovery statistics and honest failure counts. A
 // non-empty algo pins the registry algorithm (an algorithm that is

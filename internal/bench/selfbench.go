@@ -78,17 +78,19 @@ func SelfBench(model *timing.Model, workers int) []SelfBenchResult {
 		}
 	}))
 
-	// Micro: the event loop, 48 processes ping-ponging through the queue.
+	// Micro: the event loop, one process per core ping-ponging through
+	// the queue.
 	const sleepsPerProc = 10_000
+	nCores := model.NumCores()
 	eng := simtime.NewEngine()
-	for p := 0; p < 48; p++ {
+	for p := 0; p < nCores; p++ {
 		eng.Spawn("bench", func(p *simtime.Proc) {
 			for i := 0; i < sleepsPerProc; i++ {
 				p.Sleep(3)
 			}
 		})
 	}
-	out = append(out, measureLoop("simtime.EventLoop", 48*sleepsPerProc, func() {
+	out = append(out, measureLoop("simtime.EventLoop", int64(nCores)*sleepsPerProc, func() {
 		if err := eng.Run(); err != nil {
 			panic(fmt.Sprintf("selfbench event loop: %v", err))
 		}
@@ -132,7 +134,9 @@ func SelfBench(model *timing.Model, workers int) []SelfBenchResult {
 		}
 	}))
 
-	// Macro: one full 48-core Allreduce at the paper's application size.
+	// Macro: one full-chip Allreduce at the paper's application size.
+	// The record name is a stable BENCH_sim.json key (named for the
+	// default 48-core chip), so it does not vary with the model.
 	lw := Stack{Name: "lightweight non-blocking", Cfg: core.ConfigLightweight}
 	out = append(out, measureLoop("chip.Allreduce48", 1, func() {
 		Measure(model, OpAllreduce, lw, 552, 1)

@@ -45,11 +45,18 @@ type HealPoint struct {
 	Wrong     int    // cores that completed with an incorrect sum
 }
 
-// healVictim is the core killed by every faulted sample: mid-chip, so
-// its death stalls both ring neighbors and tree subtrees.
-const healVictim = 17
+// HealVictimFor picks the core killed by every faulted sample: core 17
+// on the paper's chip (mid-chip, so its death stalls both ring
+// neighbors and tree subtrees), clamped to mid-chip on meshes too small
+// to have a core 17.
+func HealVictimFor(numCores int) int {
+	if numCores > 17 {
+		return 17
+	}
+	return numCores / 2
+}
 
-// measureSelfHealAllreduce runs one 48-core Allreduce of n doubles under
+// measureSelfHealAllreduce runs one full-chip Allreduce of n doubles under
 // the self-healing runtime, with the victim killed at killAt (0 =
 // fault-free), and reports latency, the aggregated recovery report and
 // honest failure counts. Completed cores are checked against the sum of
@@ -57,9 +64,10 @@ const healVictim = 17
 // survivor set once the victim was evicted.
 func measureSelfHealAllreduce(model *timing.Model, kind core.TransportKind, pol core.HealPolicy, algo string, n int, killAt simtime.Duration) HealPoint {
 	chip := scc.New(model)
+	victim := HealVictimFor(chip.NumCores())
 	if killAt > 0 {
 		fault.Install(chip, fault.NewPlan().Add(fault.Fault{
-			Kind: fault.CoreDie, At: simtime.Time(killAt), Core: healVictim,
+			Kind: fault.CoreDie, At: simtime.Time(killAt), Core: victim,
 		}))
 	}
 	comm := rcce.NewComm(chip)
@@ -81,7 +89,7 @@ func measureSelfHealAllreduce(model *timing.Model, kind core.TransportKind, pol 
 		return want
 	}
 	wantFull := sum(-1)
-	wantSurv := sum(healVictim)
+	wantSurv := sum(victim)
 
 	pt := HealPoint{Algo: algo, KillAt: killAt}
 	firstSuspect := simtime.Time(-1)
@@ -117,7 +125,7 @@ func measureSelfHealAllreduce(model *timing.Model, kind core.TransportKind, pol 
 			pt.Epoch = rep.Epoch
 		}
 
-		if c.ID == healVictim && killAt > 0 {
+		if c.ID == victim && killAt > 0 {
 			return // the victim's error (if it got one) is not a survivor outcome
 		}
 		if err != nil {
@@ -153,7 +161,7 @@ func measureSelfHealAllreduce(model *timing.Model, kind core.TransportKind, pol 
 
 // measureOracleAllreduce is the perfect-knowledge comparator: the
 // victim never participates, every survivor runs the collective over
-// Survivors(48, {victim}) directly — no detection, no vote, no
+// the survivor group directly — no detection, no vote, no
 // agreement. Its latency is the floor any recovery mechanism pays.
 func measureOracleAllreduce(model *timing.Model, kind core.TransportKind, pol rcce.Policy, algo string, n int) simtime.Duration {
 	chip := scc.New(model)
@@ -162,12 +170,13 @@ func measureOracleAllreduce(model *timing.Model, kind core.TransportKind, pol rc
 	if algo != "" {
 		cfg.Selector = core.Fixed(algo)
 	}
-	g, err := core.Survivors(chip.NumCores(), []int{healVictim})
+	victim := HealVictimFor(chip.NumCores())
+	g, err := core.Survivors(chip.NumCores(), []int{victim})
 	if err != nil {
 		panic(err) // static input; cannot fail
 	}
 	chip.Launch(func(c *scc.Core) {
-		if c.ID == healVictim {
+		if c.ID == victim {
 			return
 		}
 		x, err := core.NewCtxGroup(comm.UE(c.ID), cfg, g)

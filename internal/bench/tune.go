@@ -41,8 +41,23 @@ type TuneSpec struct {
 // plus the full chip, and size buckets bracketing the paper's 512-byte
 // short-message threshold (64 float64 elements).
 func DefaultTuneSpec() TuneSpec {
+	return TuneSpecFor(timing.Default().NumCores())
+}
+
+// TuneSpecFor builds the default sweep shape for a chip of numCores
+// cores: communicator sizes doubling from 4 up to (and including) the
+// full chip, with the default buckets and transport. On the paper's
+// 48-core chip this reproduces the committed table's spec exactly.
+func TuneSpecFor(numCores int) TuneSpec {
+	var nps []int
+	for np := 4; np < numCores; np *= 2 {
+		nps = append(nps, np)
+	}
+	if len(nps) == 0 || nps[len(nps)-1] < numCores {
+		nps = append(nps, numCores)
+	}
 	return TuneSpec{
-		NPs:       []int{4, 8, 16, 32, 48},
+		NPs:       nps,
 		Buckets:   []int{16, 64, 256, 1024, 0},
 		Reps:      3,
 		Cfg:       core.ConfigBalanced,

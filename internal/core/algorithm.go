@@ -185,6 +185,14 @@ func LookupAlgorithm(k OpKind, name string) Algorithm {
 // the selector picks an unknown or inapplicable algorithm (e.g. a tuned
 // table requesting "mpb" on a survivor group).
 func (x *Ctx) selectAlg(k OpKind, n int) Algorithm {
+	// A multi-chip context must span chips, so the hierarchical
+	// composition overrides any selector; the selector still steers the
+	// intra-chip phases through Fabric.Intra or the inner context.
+	if x.multiChip() {
+		if a := LookupAlgorithm(k, "hier"); a != nil && a.Applicable(x, n) {
+			return a
+		}
+	}
 	sel := x.cfg.Selector
 	if sel == nil {
 		sel = paperSel{}

@@ -14,6 +14,7 @@ func init() {
 	RegisterAlgorithm(recdoubleAlg{})
 	RegisterAlgorithm(mpbAlg{})
 	RegisterAlgorithm(linearAlg{})
+	RegisterAlgorithm(hierAlg{})
 }
 
 // ringAlg is the paper's long-vector workhorse (Sec. IV): the

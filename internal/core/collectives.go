@@ -107,6 +107,12 @@ type Ctx struct {
 	// detection/vote/reconfigure/re-execute loop of selfheal.go.
 	healer *Healer
 
+	// fab, when non-nil with Chips > 1, makes Allreduce/Broadcast/
+	// Barrier span a multi-chip system through the "hier" composition
+	// (see hier.go); hierInner caches its chip-local sub-context.
+	fab       *Fabric
+	hierInner *Ctx
+
 	// scratch private-memory vectors for ring partials, sized lazily.
 	curAddr, rbufAddr scc.Addr
 	scratchLen        int
@@ -171,6 +177,7 @@ func (x *Ctx) Release() {
 	x.blocksBuf, x.partBuf = nil, nil
 	x.partN, x.partP, x.partBal = 0, 0, false
 	x.scrNode = nil
+	x.hierInner = nil
 	ctxScratchPool.Put(s)
 }
 
@@ -407,6 +414,9 @@ func (x *Ctx) ReduceScatter(src, dst scc.Addr, n int, op Op) ([]Block, error) {
 }
 
 func (x *Ctx) reduceScatterBody(src, dst scc.Addr, n int, op Op) ([]Block, error) {
+	if x.multiChip() {
+		return nil, fmt.Errorf("core: ReduceScatter: %w", ErrCrossChip)
+	}
 	p := x.np()
 	me := x.rank()
 	blocks := x.partitionFor(n, p, x.cfg.Balanced)
@@ -481,7 +491,7 @@ func (x *Ctx) Allreduce(src, dst scc.Addr, n int, op Op) error {
 // execution all happen inside the healed region, so a re-execution
 // after membership shrank re-selects for the survivor count.
 func (x *Ctx) allreduceBody(src, dst scc.Addr, n int, op Op) error {
-	if x.np() == 1 {
+	if x.np() == 1 && !x.multiChip() {
 		x.copyPriv(dst, src, n)
 		return nil
 	}
@@ -508,6 +518,9 @@ func (x *Ctx) Reduce(root int, src, dst scc.Addr, n int, op Op) error {
 // itself died, the re-execution surfaces a deterministic ErrInvalid on
 // every survivor instead of retrying a rootless collective.
 func (x *Ctx) reduceBody(root int, src, dst scc.Addr, n int, op Op) error {
+	if x.multiChip() {
+		return fmt.Errorf("core: Reduce: %w (use Allreduce)", ErrCrossChip)
+	}
 	if _, err := x.rootRank("Reduce", root); err != nil {
 		return err
 	}
@@ -535,10 +548,17 @@ func (x *Ctx) Broadcast(root int, addr scc.Addr, n int) error {
 }
 
 func (x *Ctx) broadcastBody(root int, addr scc.Addr, n int) error {
-	if _, err := x.rootRank("Broadcast", root); err != nil {
+	if x.multiChip() {
+		// The root is a system-global core ID: chip root/NumUEs, local
+		// core root%NumUEs (the "hier" algorithm decodes it the same way).
+		if root < 0 || root >= x.GlobalNP() {
+			return fmt.Errorf("core: Broadcast: %w: root %d outside [0,%d)",
+				ErrInvalid, root, x.GlobalNP())
+		}
+	} else if _, err := x.rootRank("Broadcast", root); err != nil {
 		return err
 	}
-	if x.np() == 1 {
+	if x.np() == 1 && !x.multiChip() {
 		return nil
 	}
 	a := x.selectAlg(KindBroadcast, n).(BroadcastAlgorithm)
@@ -561,6 +581,9 @@ func (x *Ctx) Allgather(src scc.Addr, nPer int, dst scc.Addr) error {
 }
 
 func (x *Ctx) allgatherBody(src scc.Addr, nPer int, dst scc.Addr) error {
+	if x.multiChip() {
+		return fmt.Errorf("core: Allgather: %w", ErrCrossChip)
+	}
 	p := x.np()
 	me := x.rank()
 	// Place my contribution, then ring-rotate contributions.
@@ -592,6 +615,9 @@ func (x *Ctx) Alltoall(src, dst scc.Addr, nPer int) error {
 }
 
 func (x *Ctx) alltoallBody(src, dst scc.Addr, nPer int) error {
+	if x.multiChip() {
+		return fmt.Errorf("core: Alltoall: %w", ErrCrossChip)
+	}
 	p := x.np()
 	me := x.rank()
 	for r := 0; r < p; r++ {
@@ -623,6 +649,9 @@ func (x *Ctx) Barrier() error {
 }
 
 func (x *Ctx) barrierBody() error {
+	if x.multiChip() {
+		return x.hierBarrier()
+	}
 	if x.grp == nil && x.cfg.Recovery == nil {
 		x.ue.Barrier()
 		return nil

@@ -33,14 +33,14 @@ func dyadicInputs(seed int64, cores, n int) [][]float64 {
 	return out
 }
 
-// crossRun executes one pinned-algorithm collective and returns the
-// chip's final virtual time plus per-core results (root-only for
-// Reduce, all cores otherwise).
-func crossRun(t *testing.T, k OpKind, algo string, n int, root int, in [][]float64) (simtime.Time, [][]float64) {
+// crossRun executes one pinned-algorithm collective on a chip of the
+// given model and returns the chip's final virtual time plus per-core
+// results (root-only for Reduce, all cores otherwise).
+func crossRun(t *testing.T, model *timing.Model, k OpKind, algo string, n int, root int, in [][]float64) (simtime.Time, [][]float64) {
 	t.Helper()
 	cfg := ConfigBalanced
 	cfg.Selector = Fixed(algo)
-	chip := scc.New(timing.Default())
+	chip := scc.New(model)
 	comm := rcce.NewComm(chip)
 	results := make([][]float64, chip.NumCores())
 	chip.Launch(func(c *scc.Core) {
@@ -113,8 +113,8 @@ func TestCrossAlgorithmEquivalence(t *testing.T) {
 				in := dyadicInputs(int64(1000*int(k)+n), 48, n)
 				want := reference(k, root, 48, in)
 
-				now1, got1 := crossRun(t, k, algo, n, root, in)
-				now2, got2 := crossRun(t, k, algo, n, root, in)
+				now1, got1 := crossRun(t, timing.Default(), k, algo, n, root, in)
+				now2, got2 := crossRun(t, timing.Default(), k, algo, n, root, in)
 
 				if now1 != now2 {
 					t.Errorf("%s[%s] n=%d: nondeterministic virtual time %v vs %v", k, algo, n, now1, now2)

@@ -1,6 +1,10 @@
 package core
 
-import "scc/internal/scc"
+import (
+	"fmt"
+
+	"scc/internal/scc"
+)
 
 // Scatter and Gather complete the RCCE_comm-style collective suite. Both
 // exist in two variants, selected like Broadcast/Reduce: a binomial tree
@@ -21,6 +25,9 @@ func (x *Ctx) Scatter(root int, src scc.Addr, nPer int, dst scc.Addr) error {
 }
 
 func (x *Ctx) scatterBody(root int, src scc.Addr, nPer int, dst scc.Addr) error {
+	if x.multiChip() {
+		return fmt.Errorf("core: Scatter: %w", ErrCrossChip)
+	}
 	rootR, err := x.rootRank("Scatter", root)
 	if err != nil {
 		return err
@@ -61,6 +68,9 @@ func (x *Ctx) Gather(root int, src scc.Addr, nPer int, dst scc.Addr) error {
 }
 
 func (x *Ctx) gatherBody(root int, src scc.Addr, nPer int, dst scc.Addr) error {
+	if x.multiChip() {
+		return fmt.Errorf("core: Gather: %w", ErrCrossChip)
+	}
 	rootR, err := x.rootRank("Gather", root)
 	if err != nil {
 		return err
@@ -103,6 +113,9 @@ func (x *Ctx) Scan(src, dst scc.Addr, n int, op Op) error {
 }
 
 func (x *Ctx) scanBody(src, dst scc.Addr, n int, op Op) error {
+	if x.multiChip() {
+		return fmt.Errorf("core: Scan: %w", ErrCrossChip)
+	}
 	p := x.np()
 	me := x.rank()
 	x.copyPriv(dst, src, n)

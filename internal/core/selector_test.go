@@ -233,8 +233,8 @@ func TestDefaultTableValid(t *testing.T) {
 // tie-break) and the per-op membership.
 func TestRegistryEnumeration(t *testing.T) {
 	want := map[OpKind][]string{
-		KindAllreduce: {"ring", "tree", "recdouble", "mpb", "linear"},
-		KindBroadcast: {"ring", "tree", "linear"},
+		KindAllreduce: {"ring", "tree", "recdouble", "mpb", "linear", "hier"},
+		KindBroadcast: {"ring", "tree", "linear", "hier"},
 		KindReduce:    {"ring", "tree", "linear"},
 	}
 	for k, names := range want {

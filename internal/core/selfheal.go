@@ -163,10 +163,12 @@ type Healer struct {
 // spanning all cores at epoch 0.
 func NewHealer(ue *rcce.UE, pol HealPolicy) *Healer {
 	n := ue.NumUEs()
-	bl := (n + 7) / 8
-	if rcce.FlagSuspBase+bl > rcce.FlagViewEpoch {
-		panic(fmt.Sprintf("core: %d cores need a %d-byte suspicion bitmap; flag line has room for %d",
-			n, bl, rcce.FlagViewEpoch-rcce.FlagSuspBase))
+	comm := ue.Comm()
+	bl := comm.ViewBitmapBytes()
+	if bl != (n+7)/8 || rcce.FlagSuspBase+bl != comm.FlagViewEpoch() ||
+		comm.FlagViewEpoch()+4 > comm.FlagCollSeq() {
+		panic(fmt.Sprintf("core: %d cores need a %d-byte suspicion bitmap plus epoch word; flag region ends at %d",
+			n, bl, comm.FlagCollSeq()))
 	}
 	h := &Healer{
 		ue:      ue,
@@ -526,7 +528,7 @@ func (h *Healer) coordinate(epoch uint32, attempt int, ta simtime.Time, B simtim
 			continue
 		}
 		h.det.Clear(p)
-		h.seqBuf[p] = c.ProbeFlag(comm.FlagAddr(me, p, rcce.FlagCollSeq))
+		h.seqBuf[p] = c.ProbeFlag(comm.FlagAddr(me, p, comm.FlagCollSeq()))
 		arrived = append(arrived, p)
 	}
 
@@ -570,7 +572,7 @@ func (h *Healer) coordinate(epoch uint32, attempt int, ta simtime.Time, B simtim
 			continue
 		}
 		c.MPBWrite(comm.FlagAddr(p, me, rcce.FlagSuspBase), h.bitmap)
-		c.MPBWrite(comm.FlagAddr(p, me, rcce.FlagViewEpoch), eb[:])
+		c.MPBWrite(comm.FlagAddr(p, me, comm.FlagViewEpoch()), eb[:])
 		c.SetFlag(comm.FlagAddr(p, me, rcce.FlagMemberRelease), rel)
 	}
 	h.viewBuf = view
@@ -595,7 +597,7 @@ func (h *Healer) follow(coord, attempt int, ta simtime.Time, B simtime.Duration)
 
 	h.det.fillBitmap(h.bitmap)
 	c.MPBWrite(comm.FlagAddr(coord, me, rcce.FlagSuspBase), h.bitmap)
-	c.SetFlag(comm.FlagAddr(coord, me, rcce.FlagCollSeq), byte(h.collSeq))
+	c.SetFlag(comm.FlagAddr(coord, me, comm.FlagCollSeq()), byte(h.collSeq))
 	c.SetFlag(comm.FlagAddr(coord, me, rcce.FlagMemberArrive), arriveTok(h.epoch, attempt))
 
 	_, ok := h.waitUntil(relOff, ta+6*B, func(v byte) bool { return v != 0 })
@@ -607,7 +609,7 @@ func (h *Healer) follow(coord, attempt int, ta simtime.Time, B simtime.Duration)
 
 	c.MPBRead(comm.FlagAddr(me, coord, rcce.FlagSuspBase), h.bitmap)
 	var eb [4]byte
-	c.MPBRead(comm.FlagAddr(me, coord, rcce.FlagViewEpoch), eb[:])
+	c.MPBRead(comm.FlagAddr(me, coord, comm.FlagViewEpoch()), eb[:])
 	epoch := binary.LittleEndian.Uint32(eb[:])
 
 	view := h.viewBuf[:0]

@@ -1,7 +1,8 @@
 // Package mesh simulates the SCC's 2D on-chip mesh network.
 //
-// The SCC connects 24 tiles (6 columns x 4 rows) through a mesh of
-// routers with deterministic XY (dimension-ordered) routing. The model
+// The SCC connects its tiles (24 in a 6x4 grid on the real chip; any
+// rectangular geometry here, taken from the timing.Model) through a mesh
+// of routers with deterministic XY (dimension-ordered) routing. The model
 // here is wormhole-flavored: a packet pays a fixed per-hop router
 // latency, serializes on each link at the link width, and links are
 // occupied for the serialization time, so competing packets queue.

@@ -65,21 +65,30 @@ const (
 	// epochs cannot alias.
 	FlagEpochArrive  = 19
 	FlagEpochRelease = 20
-	// FlagSuspBase..+5: six-byte payload region. member -> coordinator
-	// lines carry the member's suspicion bitmap; coordinator -> member
-	// lines carry the agreed view bitmap (one bit per core, 48 cores).
+	// FlagSuspBase starts the membership bitmap payload region (one bit
+	// per core, so ceil(NumCores/8) bytes — Comm.ViewBitmapBytes).
+	// member -> coordinator lines carry the member's suspicion bitmap;
+	// coordinator -> member lines carry the agreed view bitmap. The
+	// agreed-epoch word and the call-sequence byte follow; their offsets
+	// depend on the core count, so they are Comm methods (FlagViewEpoch,
+	// FlagCollSeq) rather than constants.
 	FlagSuspBase = 21
-	// FlagViewEpoch..+3: coordinator -> member, the agreed epoch as a
-	// little-endian uint32. Together with the view bitmap this fills the
-	// flag line to byte 30 of 32.
-	FlagViewEpoch = 27
-	// FlagCollSeq: member -> coordinator, the member's wrapped-collective
-	// call sequence (mod 256), shipped with each agreement arrival so a
-	// member stranded on a different collective call than the majority
-	// cohort is evicted instead of exchanging mismatched payloads. Last
-	// byte of the 32-byte flag line.
-	FlagCollSeq = 31
 )
+
+// ViewBitmapBytes returns the size of the membership bitmaps shipped
+// through the flag region: one bit per core.
+func (c *Comm) ViewBitmapBytes() int { return c.chip.Model.ViewBitmapBytes() }
+
+// FlagViewEpoch returns the role offset of the agreed epoch
+// (little-endian uint32), right after the view bitmap.
+func (c *Comm) FlagViewEpoch() int { return FlagSuspBase + c.ViewBitmapBytes() }
+
+// FlagCollSeq returns the role offset of the wrapped-collective call
+// sequence (mod 256), shipped with each agreement arrival so a member
+// stranded on a different collective call than the majority cohort is
+// evicted instead of exchanging mismatched payloads. Last byte of the
+// per-writer flag region.
+func (c *Comm) FlagCollSeq() int { return c.chip.Model.FlagBytesPerWriter() - 1 }
 
 // Unexported aliases keep the package-internal protocol code terse.
 const (
@@ -89,9 +98,10 @@ const (
 	flagBarrierRelease = FlagBarrierRelease
 )
 
-// Comm is an RCCE communicator spanning all cores of a chip. It owns the
-// MPB layout: the first NumCores lines of every core's MPB are flag
-// lines (one per potential writer); the rest is the chunk data region.
+// Comm is an RCCE communicator spanning all cores of a chip. It owns
+// the MPB layout: the first NumCores flag regions of every core's MPB
+// belong to the potential writers (one region each, sized by the
+// model's FlagBytesPerWriter); the rest is the chunk data region.
 type Comm struct {
 	chip *scc.Chip
 	// userFlags tracks per-core allocation of gory-interface user flags
@@ -111,21 +121,24 @@ func (c *Comm) Chip() *scc.Chip { return c.chip }
 func (c *Comm) NumUEs() int { return c.chip.NumCores() }
 
 // FlagAddr returns the global MPB offset of the flag that `writer` may
-// set in `owner`'s MPB, for the given flag role.
+// set in `owner`'s MPB, for the given flag role (a byte offset within
+// the writer's flag region).
 func (c *Comm) FlagAddr(owner, writer, role int) int {
-	return c.chip.MPBBase(owner) + writer*c.chip.Model.CacheLineBytes + role
+	return c.chip.MPBBase(owner) + writer*c.chip.Model.FlagBytesPerWriter() + role
 }
 
 // DataBase returns the global MPB offset of a core's chunk data region
-// (after the pair-flag lines and the gory-interface user-flag region).
+// (after the per-writer flag regions and the gory-interface user-flag
+// region).
 func (c *Comm) DataBase(core int) int {
-	return c.chip.MPBBase(core) + (c.NumUEs()+userFlagLines)*c.chip.Model.CacheLineBytes
+	return c.userFlagBase(core) + c.UserFlagCount()
 }
 
 // DataBytes returns the usable size of each core's chunk data region
-// (8 KB minus the flag lines; 6528 B on the 48-core chip).
+// (the per-core MPB minus the flag reservations; on the default
+// 48-core chip that is 8192 - (48+4)*32 = 6528 bytes).
 func (c *Comm) DataBytes() int {
-	return c.chip.Model.MPBBytesPerCore - (c.NumUEs()+userFlagLines)*c.chip.Model.CacheLineBytes
+	return c.chip.Model.MPBDataBytes()
 }
 
 // UE returns the unit-of-execution handle for a core. Call from inside

@@ -54,7 +54,8 @@ func (u *UE) SetEpoch(e uint32) {
 // progress), the group-barrier generations (restarted by SetEpoch), and
 // the outcome-vote flags. The full-chip barrier generations (roles 2,3)
 // survive — they are monotonic and never reset — as do the agreement
-// roles 17..30, which are live while an adoption runs.
+// roles (member/epoch arrive-release, the view bitmap and epoch word,
+// the call-sequence byte), which are live while an adoption runs.
 var resetRoles = []int{
 	FlagSent, FlagReady,
 	FlagMPBSent0, FlagMPBSent1, FlagMPBReady0, FlagMPBReady1,

@@ -1,27 +1,32 @@
 package rcce
 
-import "fmt"
+import (
+	"fmt"
+
+	"scc/internal/timing"
+)
 
 // The "gory" interface. RCCE ships two API levels: the high-level
 // ("non-gory") send/receive used so far, and the gory interface exposing
 // raw MPB space and user-allocated flags for hand-rolled protocols
 // (RCCE_flag_alloc / RCCE_flag_free / RCCE_flag_write / RCCE_wait_until).
-// The simulator reserves a user-flag region between the pair-flag lines
-// and the chunk data region: userFlagLines cache lines per core, one
-// byte per flag, allocated with a per-core free list.
+// The simulator reserves a user-flag region between the per-writer flag
+// regions and the chunk data region: timing.UserFlagLines cache lines
+// per core, one byte per flag, allocated with a per-core free list.
 
-// userFlagLines is the size of each core's user-flag region in lines.
-const userFlagLines = 4
+// UserFlagLines re-exports the size of each core's user-flag region in
+// lines (the timing model owns the layout constants).
+const UserFlagLines = timing.UserFlagLines
 
 // userFlagBase returns the global MPB offset of a core's user-flag
-// region (right after the pair-flag lines).
+// region (right after the per-writer flag regions).
 func (c *Comm) userFlagBase(core int) int {
-	return c.chip.MPBBase(core) + c.NumUEs()*c.chip.Model.CacheLineBytes
+	return c.chip.MPBBase(core) + c.NumUEs()*c.chip.Model.FlagBytesPerWriter()
 }
 
 // UserFlagCount returns how many user flags each core can hold.
 func (c *Comm) UserFlagCount() int {
-	return userFlagLines * c.chip.Model.CacheLineBytes
+	return UserFlagLines * c.chip.Model.CacheLineBytes
 }
 
 // AllocFlag reserves one user flag in owner's MPB and returns its global

@@ -1,6 +1,9 @@
-// Package scc models the Single-Chip Cloud Computer: 48 P54C cores on 24
-// tiles, a 6x4 mesh, per-core 8 KB message-passing buffers (MPBs), L1/L2
-// private-memory caches, and four memory controllers.
+// Package scc models the Single-Chip Cloud Computer: P54C cores spread
+// over a rectangular tile mesh (48 cores on a 6x4 mesh of dual-core
+// tiles in the paper's configuration), per-core message-passing buffers
+// (MPBs), L1/L2 private-memory caches, and edge memory controllers. The
+// geometry comes entirely from the timing.Model, so arbitrary RxC
+// meshes simulate with the same code.
 //
 // Simulated programs are written against the Core API: they allocate
 // private memory, read and write it (priced through the cache model),
@@ -77,18 +80,31 @@ type Chip struct {
 	// advances virtual time, so an instrumented run is bit-identical
 	// to an uninstrumented one.
 	metrics *metrics.Registry
+
+	// NamePrefix, when set before Launch, prefixes every core process
+	// name ("chip1.core03"). Multi-chip systems sharing one engine use
+	// it to keep deadlock reports and notes unambiguous; the default
+	// empty prefix preserves the single-chip names byte for byte.
+	NamePrefix string
 }
 
 // New builds a chip for the given model (use timing.Default for the
-// paper's configuration). It panics if the model is invalid; validate
-// separately if the model comes from user input.
+// paper's configuration) on a fresh simulation engine. It panics if the
+// model is invalid; validate separately if the model comes from user
+// input.
 func New(model *timing.Model) *Chip {
+	return NewOnEngine(model, simtime.NewEngine())
+}
+
+// NewOnEngine builds a chip on an existing engine, so several chips (a
+// multi-chip fabric.System) can share one virtual clock and scheduler.
+func NewOnEngine(model *timing.Model, eng *simtime.Engine) *Chip {
 	if err := model.Validate(); err != nil {
 		panic(err)
 	}
 	c := &Chip{
 		Model:      model,
-		Engine:     simtime.NewEngine(),
+		Engine:     eng,
 		Net:        mesh.New(model),
 		mpb:        make([]byte, model.MPBTotalBytes()),
 		flagSigs:   make(map[int]*simtime.Signal),
@@ -124,16 +140,17 @@ func (c *Chip) SetMetrics(reg *metrics.Registry) {
 func (c *Chip) Metrics() *metrics.Registry { return c.metrics }
 
 // TileOf returns the mesh coordinate of a core's tile. Cores are numbered
-// as on the real SCC: core id / 2 is the tile index, tiles are row-major
-// over the 6x4 mesh.
+// as on the real SCC: core id / CoresPerTile is the tile index, tiles are
+// row-major over the mesh.
 func (c *Chip) TileOf(coreID int) mesh.Coord {
 	tile := coreID / c.Model.CoresPerTile
 	return mesh.Coord{X: tile % c.Model.MeshWidth, Y: tile / c.Model.MeshWidth}
 }
 
 // memControllerFor returns the router coordinate of the memory controller
-// serving a core. The SCC's four controllers sit on the left and right
-// mesh edges; each quadrant of cores maps to its nearest controller.
+// serving a core. The controllers sit at the four mesh corners (on the
+// SCC, the left and right edges); each quadrant of cores maps to its
+// nearest controller, whatever the mesh dimensions.
 func (c *Chip) memControllerFor(coreID int) mesh.Coord {
 	t := c.TileOf(coreID)
 	x := 0
@@ -150,7 +167,8 @@ func (c *Chip) memControllerFor(coreID int) mesh.Coord {
 // MPBOwner returns which core owns the MPB byte at global offset off.
 func (c *Chip) MPBOwner(off int) int { return off / c.Model.MPBBytesPerCore }
 
-// MPBBase returns the global MPB offset of a core's 8 KB region.
+// MPBBase returns the global MPB offset of a core's MPB region
+// (MPBBytesPerCore bytes each).
 func (c *Chip) MPBBase(coreID int) int { return coreID * c.Model.MPBBytesPerCore }
 
 // MPBSlice exposes raw MPB contents for tests and debugging. It performs
@@ -182,7 +200,7 @@ func (c *Chip) Launch(fn func(core *Core)) {
 		if core.dead {
 			continue
 		}
-		core.proc = c.Engine.Spawn(fmt.Sprintf("core%02d", core.ID), func(p *simtime.Proc) {
+		core.proc = c.Engine.Spawn(fmt.Sprintf("%score%02d", c.NamePrefix, core.ID), func(p *simtime.Proc) {
 			defer recoverCoreDeath(core, p)
 			fn(core)
 			core.flushLocal() // apply trailing deferred latency
@@ -194,7 +212,7 @@ func (c *Chip) Launch(fn func(core *Core)) {
 // and LaunchOne on the same chip is allowed before Run.
 func (c *Chip) LaunchOne(coreID int, fn func(core *Core)) {
 	core := c.Cores[coreID]
-	core.proc = c.Engine.Spawn(fmt.Sprintf("core%02d", coreID), func(p *simtime.Proc) {
+	core.proc = c.Engine.Spawn(fmt.Sprintf("%score%02d", c.NamePrefix, coreID), func(p *simtime.Proc) {
 		defer recoverCoreDeath(core, p)
 		fn(core)
 		core.flushLocal()

@@ -17,18 +17,47 @@ import (
 	"scc/internal/simtime"
 )
 
+// Flag-region layout constants shared by the timing model and the RCCE
+// layer above it. They describe roles, not geometry: the number of
+// *bytes* a writer's flag region needs grows with the core count (the
+// membership view bitmap is one bit per core), which is exactly what
+// FlagBytesPerWriter and Validate account for.
+const (
+	// FlagFixedRoles counts the fixed-position flag roles at the start
+	// of every per-writer flag region (sent/ready, barrier, MPB-direct
+	// double-buffer, checksum, progress, group/vote/member/epoch
+	// arrive-release — see internal/rcce). The membership view bitmap
+	// starts right after them.
+	FlagFixedRoles = 21
+	// FlagViewEpochBytes is the width of the agreed-epoch word that
+	// follows the view bitmap (little-endian uint32).
+	FlagViewEpochBytes = 4
+	// UserFlagLines is the size of each core's gory-interface user-flag
+	// region in cache lines (see internal/rcce/gory.go).
+	UserFlagLines = 4
+)
+
 // Model holds every tunable latency parameter of the simulated chip and
 // software stack. Use Default for the paper's configuration ("standard
-// preset": cores at 533 MHz, mesh and DRAM at 800 MHz).
+// preset": cores at 533 MHz, mesh and DRAM at 800 MHz) or Topology for
+// an arbitrary mesh geometry derived from it.
 type Model struct {
-	// ---- Geometry (fixed by the SCC design, Section II) ----
+	// ---- Geometry (the SCC design fixes these to 6x4x2, Section II;
+	// Topology() builds consistent variants) ----
 
-	MeshWidth    int // tiles per row (6)
-	MeshHeight   int // tile rows (4)
+	MeshWidth    int // tiles per row
+	MeshHeight   int // tile rows
 	CoresPerTile int
 	// MPBBytesPerCore is the per-core share of the on-die SRAM
-	// (8 KB per core, 16 KB per tile, 384 KB total).
+	// (8 KB per core on the SCC: 16 KB per tile, 384 KB total).
 	MPBBytesPerCore int
+	// FlagLinesPerWriter sizes each writer's flag region in every core's
+	// MPB, in cache lines. One line suffices up to the point where the
+	// fixed roles plus the ceil(NumCores/8)-byte membership view bitmap
+	// plus the epoch word and call-sequence byte no longer fit; larger
+	// meshes need more (Validate rejects regions that are too small).
+	// Zero means one line, so legacy literal Models stay valid.
+	FlagLinesPerWriter int
 	// CacheLineBytes is the L1/L2 line size and the write-combining
 	// granularity (32 B = 4 doubles). This produces the period-4
 	// latency spikes of Fig. 9.
@@ -154,6 +183,22 @@ type Model struct {
 	FlopCoreCycles int64
 	// TrigCoreCycles prices one sin/cos evaluation (x87 FSIN/FCOS).
 	TrigCoreCycles int64
+
+	// ---- Inter-chip fabric (internal/fabric) ----
+	// A multi-chip System joins K chips through a slower serial fabric
+	// between per-chip gateway cores. The cost model mirrors a mesh
+	// link: per-message base latency, serialization at the fabric width,
+	// and link occupancy so overlapping messages queue.
+
+	// FabricBaseLatencyMeshCycles is the head latency of one inter-chip
+	// message (board traces, SerDes, protocol framing) in mesh cycles.
+	FabricBaseLatencyMeshCycles int64
+	// FabricBytesPerMeshCycle is the inter-chip link width used for
+	// serialization and occupancy (much narrower than a mesh link).
+	FabricBytesPerMeshCycle int
+	// FabricPerMessageCoreCycles is the gateway core's software cost of
+	// posting or draining one fabric message.
+	FabricPerMessageCoreCycles int64
 }
 
 // Default returns the model for the paper's experimental setup. Hardware
@@ -162,13 +207,14 @@ type Model struct {
 // the paper's reported per-step speedups.
 func Default() *Model {
 	return &Model{
-		MeshWidth:       6,
-		MeshHeight:      4,
-		CoresPerTile:    2,
-		MPBBytesPerCore: 8192,
-		CacheLineBytes:  32,
-		L1DataBytes:     16 * 1024,
-		L2Bytes:         256 * 1024,
+		MeshWidth:          6,
+		MeshHeight:         4,
+		CoresPerTile:       2,
+		MPBBytesPerCore:    8192,
+		FlagLinesPerWriter: 1,
+		CacheLineBytes:     32,
+		L1DataBytes:        16 * 1024,
+		L2Bytes:            256 * 1024,
 
 		L1HitCoreCycles:      1,
 		L2HitCoreCycles:      18,
@@ -203,7 +249,40 @@ func Default() *Model {
 
 		FlopCoreCycles: 5,
 		TrigCoreCycles: 100,
+
+		FabricBaseLatencyMeshCycles: 2000,
+		FabricBytesPerMeshCycle:     2,
+		FabricPerMessageCoreCycles:  1200,
 	}
+}
+
+// Topology derives a model for an arbitrary rows x cols mesh with
+// coresPerTile cores per tile from the paper's Default calibration: all
+// latency constants are kept, while the flag-region and MPB geometry
+// are resized so the layout invariants hold at the new core count. The
+// per-writer flag region grows to fit the membership view bitmap
+// (ceil(NumCores/8) bytes) plus the fixed roles, the epoch word and the
+// call-sequence byte; the per-core MPB grows in 8 KB steps until the
+// chunk data region is at least as large as the default chip's. Called
+// with the default geometry (4 rows, 6 cols, 2 cores/tile) it returns a
+// model identical to Default().
+func Topology(rows, cols, coresPerTile int) *Model {
+	m := Default()
+	m.MeshHeight = rows
+	m.MeshWidth = cols
+	m.CoresPerTile = coresPerTile
+	if rows <= 0 || cols <= 0 || coresPerTile <= 0 {
+		return m // Validate reports the error with full context
+	}
+	dataFloor := Default().MPBDataBytes()
+	need := FlagFixedRoles + m.ViewBitmapBytes() + FlagViewEpochBytes + 1
+	m.FlagLinesPerWriter = (need + m.CacheLineBytes - 1) / m.CacheLineBytes
+	step := Default().MPBBytesPerCore
+	m.MPBBytesPerCore = step
+	for m.MPBDataBytes() < dataFloor {
+		m.MPBBytesPerCore += step
+	}
+	return m
 }
 
 // NumTiles returns the tile count of the mesh.
@@ -218,6 +297,28 @@ func (m *Model) MPBTotalBytes() int { return m.NumCores() * m.MPBBytesPerCore }
 // Lines returns how many cache lines n bytes occupy (rounded up).
 func (m *Model) Lines(nBytes int) int {
 	return (nBytes + m.CacheLineBytes - 1) / m.CacheLineBytes
+}
+
+// FlagBytesPerWriter returns the size of one writer's flag region in
+// every core's MPB. A zero FlagLinesPerWriter counts as one line, so
+// Models built as plain literals keep the legacy single-line layout.
+func (m *Model) FlagBytesPerWriter() int {
+	lines := m.FlagLinesPerWriter
+	if lines <= 0 {
+		lines = 1
+	}
+	return lines * m.CacheLineBytes
+}
+
+// ViewBitmapBytes returns the size of the membership view bitmap the
+// self-healing agreement ships through a flag region: one bit per core.
+func (m *Model) ViewBitmapBytes() int { return (m.NumCores() + 7) / 8 }
+
+// MPBDataBytes returns the usable chunk-data capacity of each core's
+// MPB after the per-writer flag regions and the gory-interface
+// user-flag lines are reserved.
+func (m *Model) MPBDataBytes() int {
+	return m.MPBBytesPerCore - m.NumCores()*m.FlagBytesPerWriter() - UserFlagLines*m.CacheLineBytes
 }
 
 // --- Composite latencies ---
@@ -265,11 +366,17 @@ func (m *Model) LineSerializationMeshCycles() int64 {
 	return int64((m.CacheLineBytes + m.MeshLinkBytesPerCycle - 1) / m.MeshLinkBytesPerCycle)
 }
 
-// Validate checks the model for impossible configurations.
+// Validate checks the model for impossible configurations, including
+// the geometry-dependent MPB layout invariants: every writer's flag
+// region must hold the fixed roles plus the ceil(NumCores/8)-byte
+// membership view bitmap, the epoch word and the call-sequence byte,
+// and reserving NumCores flag regions per core must still leave a
+// non-empty chunk data region.
 func (m *Model) Validate() error {
 	switch {
 	case m.MeshWidth <= 0 || m.MeshHeight <= 0:
-		return errf("mesh dimensions must be positive, got %dx%d", m.MeshWidth, m.MeshHeight)
+		return errf("mesh dimensions must be positive, got %dx%d (at least one tile required)",
+			m.MeshWidth, m.MeshHeight)
 	case m.CoresPerTile <= 0:
 		return errf("cores per tile must be positive, got %d", m.CoresPerTile)
 	case m.CacheLineBytes <= 0 || m.CacheLineBytes%8 != 0:
@@ -280,6 +387,17 @@ func (m *Model) Validate() error {
 		return errf("cache hierarchy sizes invalid: L1=%d L2=%d", m.L1DataBytes, m.L2Bytes)
 	case m.MeshLinkBytesPerCycle <= 0:
 		return errf("mesh link width must be positive, got %d", m.MeshLinkBytesPerCycle)
+	case m.FlagLinesPerWriter < 0:
+		return errf("flag lines per writer must be non-negative, got %d", m.FlagLinesPerWriter)
+	}
+	if need := FlagFixedRoles + m.ViewBitmapBytes() + FlagViewEpochBytes + 1; need > m.FlagBytesPerWriter() {
+		return errf("flag region too small: %d cores need %d bytes per writer "+
+			"(%d fixed roles + %d-byte view bitmap + epoch + sequence), have %d",
+			m.NumCores(), need, FlagFixedRoles, m.ViewBitmapBytes(), m.FlagBytesPerWriter())
+	}
+	if m.MPBDataBytes() <= 0 {
+		return errf("MPB layout leaves no data region: %d cores x %d-byte flag regions + %d user-flag lines exceed %d bytes per core",
+			m.NumCores(), m.FlagBytesPerWriter(), UserFlagLines, m.MPBBytesPerCore)
 	}
 	return nil
 }

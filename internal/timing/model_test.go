@@ -116,3 +116,83 @@ func TestOverheadOrdering(t *testing.T) {
 		t.Fatal("iRCCE must be cheaper than full MPI per call (Sec. III)")
 	}
 }
+
+// TestTopologyDerivation pins the derived layout facts for a spread of
+// geometries: the flag region grows with ceil(NumCores/8), the MPB
+// grows in default-sized steps until the chunk-data region is at least
+// the default chip's, and the default geometry reproduces Default()
+// exactly.
+func TestTopologyDerivation(t *testing.T) {
+	floor := Default().MPBDataBytes()
+	cases := []struct {
+		rows, cols, per                int
+		cores, flagLines, mpbPer, data int
+	}{
+		{4, 6, 2, 48, 1, 8192, 6528},   // the paper's chip
+		{4, 4, 1, 16, 1, 8192, 7552},   // small mesh, single-core tiles
+		{8, 8, 2, 128, 2, 16384, 8064}, // two flag lines, grown MPB
+		{16, 16, 2, 512, 3, 57344, 8064},
+	}
+	for _, c := range cases {
+		m := Topology(c.rows, c.cols, c.per)
+		if err := m.Validate(); err != nil {
+			t.Errorf("Topology(%d,%d,%d): %v", c.rows, c.cols, c.per, err)
+			continue
+		}
+		if m.NumCores() != c.cores {
+			t.Errorf("Topology(%d,%d,%d): %d cores, want %d", c.rows, c.cols, c.per, m.NumCores(), c.cores)
+		}
+		if got := m.FlagLinesPerWriter; got != c.flagLines {
+			t.Errorf("Topology(%d,%d,%d): %d flag lines, want %d", c.rows, c.cols, c.per, got, c.flagLines)
+		}
+		if m.MPBBytesPerCore != c.mpbPer {
+			t.Errorf("Topology(%d,%d,%d): %d MPB bytes/core, want %d", c.rows, c.cols, c.per, m.MPBBytesPerCore, c.mpbPer)
+		}
+		if got := m.MPBDataBytes(); got != c.data {
+			t.Errorf("Topology(%d,%d,%d): %d data bytes, want %d", c.rows, c.cols, c.per, got, c.data)
+		}
+		if got := m.MPBDataBytes(); got < floor {
+			t.Errorf("Topology(%d,%d,%d): data region %d below the default floor %d", c.rows, c.cols, c.per, got, floor)
+		}
+		if got := m.ViewBitmapBytes(); got != (c.cores+7)/8 {
+			t.Errorf("Topology(%d,%d,%d): view bitmap %d bytes, want %d", c.rows, c.cols, c.per, got, (c.cores+7)/8)
+		}
+	}
+	if d := Topology(4, 6, 2); *d != *Default() {
+		t.Errorf("Topology(4,6,2) differs from Default():\n got %+v\nwant %+v", d, Default())
+	}
+}
+
+// TestTopologyValidateRejectsGeometry: each geometry invariant has a
+// dedicated rejection.
+func TestTopologyValidateRejectsGeometry(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() *Model
+	}{
+		{"zero rows", func() *Model { return Topology(0, 6, 2) }},
+		{"zero cols", func() *Model { return Topology(4, 0, 2) }},
+		{"zero cores per tile", func() *Model { return Topology(4, 6, 0) }},
+		{"negative rows", func() *Model { return Topology(-1, 6, 2) }},
+		{"flag region too small for the view bitmap", func() *Model {
+			m := Topology(8, 8, 2) // needs 2 flag lines
+			m.FlagLinesPerWriter = 1
+			return m
+		}},
+		{"negative flag lines", func() *Model {
+			m := Default()
+			m.FlagLinesPerWriter = -1
+			return m
+		}},
+		{"no data region left", func() *Model {
+			m := Topology(16, 16, 2) // 512 cores x 96 B of flags
+			m.MPBBytesPerCore = 8192
+			return m
+		}},
+	}
+	for _, c := range cases {
+		if err := c.make().Validate(); err == nil {
+			t.Errorf("%s: invalid model accepted", c.name)
+		}
+	}
+}

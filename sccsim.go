@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scc/internal/core"
+	"scc/internal/fabric"
 	"scc/internal/fault"
 	"scc/internal/metrics"
 	"scc/internal/rcce"
@@ -16,6 +17,11 @@ import (
 // ErrInvalid marks user errors (bad counts, out-of-range roots). All
 // collective methods return it wrapped instead of panicking.
 var ErrInvalid = core.ErrInvalid
+
+// ErrCrossChip marks collectives that do not span chips: on a multi-chip
+// System (WithChips > 1) only Allreduce, AllreduceOp, Broadcast and
+// Barrier run system-wide; the rest return this typed error.
+var ErrCrossChip = core.ErrCrossChip
 
 // RecoveryPolicy bounds the hardened protocol's waits: Timeout per
 // attempt, exponential Backoff factor, MaxRetries before a peer is
@@ -213,6 +219,8 @@ type Metrics = metrics.Snapshot
 type config struct {
 	model    *timing.Model
 	stack    Stack
+	chips    int
+	intra    string
 	faults   *fault.Plan
 	recovery *rcce.Policy
 	selfheal *core.HealPolicy
@@ -231,6 +239,34 @@ func WithStack(s Stack) Option { return func(c *config) { c.stack = s } }
 // WithModel supplies a custom timing model (default timing.Default(),
 // the paper's standard preset: 533 MHz cores, 800 MHz mesh and DRAM).
 func WithModel(m *timing.Model) Option { return func(c *config) { c.model = m } }
+
+// WithTopology builds the chip as an arbitrary rows x cols tile mesh
+// with coresPerTile cores per tile, derived from the paper's calibrated
+// model: latency constants are unchanged while the MPB flag layout and
+// per-core MPB size are resized for the new core count (see
+// timing.Topology). WithTopology(4, 6, 2) is the paper's default chip.
+// New panics on an impossible geometry; pre-validate user input with
+// timing.Topology(...).Validate().
+func WithTopology(rows, cols, coresPerTile int) Option {
+	return func(c *config) { c.model = timing.Topology(rows, cols, coresPerTile) }
+}
+
+// WithChips joins k identical chips into one system through the
+// inter-chip fabric (see internal/fabric): one gateway core per chip,
+// Allreduce/Broadcast/Barrier run hierarchically (intra-chip phase,
+// gateway exchange, intra-chip phase) and rank IDs become system-global
+// (Rank.ID in [0, NumCores)). k <= 1 is the plain single-chip system.
+// Multi-chip systems support the RCCE-based stacks, WithRecovery,
+// WithSelector and WithIntraAlgorithm; New panics when combined with
+// StackRCKMPI, WithFaults, WithSelfHealing or WithMetrics (those
+// subsystems are single-chip scoped).
+func WithChips(k int) Option { return func(c *config) { c.chips = k } }
+
+// WithIntraAlgorithm forces the intra-chip phases of the hierarchical
+// collectives to the named registry algorithm ("ring", "tree", ...);
+// the default lets the configured selector pick per phase. Only
+// meaningful with WithChips(k > 1).
+func WithIntraAlgorithm(name string) Option { return func(c *config) { c.intra = name } }
 
 // WithHardwareBugFixed removes the SCC's local-MPB erratum workaround,
 // probing the paper's prediction that fixed silicon would make the
@@ -298,11 +334,18 @@ func WithSelfHealing(pol HealPolicy) Option {
 	return func(c *config) { p := pol; c.selfheal = &p }
 }
 
-// System is one simulated SCC ready to run SPMD programs.
+// System is one simulated SCC — or, with WithChips(k > 1), k of them
+// joined by the inter-chip fabric — ready to run SPMD programs.
 type System struct {
 	cfg  config
 	chip *scc.Chip
 	comm *rcce.Comm
+	// fab and comms are the multi-chip state (nil for a single chip):
+	// the shared-engine fabric system plus one communicator per chip.
+	// chip and comm then alias chip 0 so the single-chip accessors
+	// (Model, Elapsed) keep working off the shared engine.
+	fab   *fabric.System
+	comms []*rcce.Comm
 	// healers persist per core across Run calls (nil without
 	// WithSelfHealing): suspicions, the agreed member set and the
 	// communicator epoch are durable state of the runtime, not of one
@@ -316,6 +359,9 @@ func New(opts ...Option) *System {
 	cfg := config{model: timing.Default(), stack: StackLightweightBalanced}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.chips > 1 {
+		return newMultiChip(cfg)
 	}
 	chip := scc.New(cfg.model)
 	if cfg.metrics {
@@ -331,8 +377,43 @@ func New(opts ...Option) *System {
 	return s
 }
 
-// NumCores returns the core count (48).
-func (s *System) NumCores() int { return s.chip.NumCores() }
+// newMultiChip builds the fabric-joined variant (WithChips > 1).
+func newMultiChip(cfg config) *System {
+	switch {
+	case cfg.stack == StackRCKMPI:
+		panic("sccsim: WithChips: StackRCKMPI is single-chip only")
+	case cfg.faults != nil:
+		panic("sccsim: WithChips: fault plans are single-chip only")
+	case cfg.selfheal != nil:
+		panic("sccsim: WithChips: self-healing is single-chip only")
+	case cfg.metrics:
+		panic("sccsim: WithChips: metrics are single-chip only")
+	}
+	fab := fabric.New(cfg.model, cfg.chips)
+	s := &System{cfg: cfg, fab: fab, chip: fab.Chips[0]}
+	for _, chip := range fab.Chips {
+		s.comms = append(s.comms, rcce.NewComm(chip))
+	}
+	s.comm = s.comms[0]
+	return s
+}
+
+// NumCores returns the total rank count: the core count of the chip
+// (48 on the paper's default geometry) times the chip count.
+func (s *System) NumCores() int {
+	if s.fab != nil {
+		return s.fab.NumChips() * s.chip.NumCores()
+	}
+	return s.chip.NumCores()
+}
+
+// Chips returns how many chips the system spans (1 without WithChips).
+func (s *System) Chips() int {
+	if s.fab != nil {
+		return s.fab.NumChips()
+	}
+	return 1
+}
 
 // Model exposes the timing model in use.
 func (s *System) Model() *timing.Model { return s.chip.Model }
@@ -343,8 +424,19 @@ func (s *System) Stack() Stack { return s.cfg.stack }
 // Run executes program on every core simultaneously (SPMD) and blocks
 // until the virtual machine is idle. It returns the simulation error
 // (nil, deadlock, or a propagated panic from the program). A System can
-// run several programs in sequence; virtual time keeps advancing.
+// run several programs in sequence; virtual time keeps advancing. On a
+// multi-chip system the program runs on every core of every chip, with
+// system-global rank IDs.
 func (s *System) Run(program func(r *Rank)) error {
+	if s.fab != nil {
+		for ci, chip := range s.fab.Chips {
+			ci := ci
+			chip.Launch(func(c *scc.Core) {
+				program(s.newRankOnChip(ci, c))
+			})
+		}
+		return s.fab.Run()
+	}
 	s.chip.Launch(func(c *scc.Core) {
 		program(s.newRank(c))
 	})
@@ -446,13 +538,17 @@ type Rank struct {
 	ue   *rcce.UE
 	ctx  *core.Ctx   // nil for RCKMPI and evicted ranks
 	mpi  *rckmpi.Lib // nil for core stacks
+	// gid and gn are the system-global rank ID and rank count; on a
+	// single chip they equal the core ID and core count. chipIdx is
+	// which chip the rank lives on (0 on a single chip).
+	gid, gn, chipIdx int
 	// evicted holds the typed error a rank evicted by an earlier
 	// membership agreement gets from every collective call.
 	evicted error
 }
 
 func (s *System) newRank(c *scc.Core) *Rank {
-	r := &Rank{core: c, ue: s.comm.UE(c.ID)}
+	r := &Rank{core: c, ue: s.comm.UE(c.ID), gid: c.ID, gn: s.chip.NumCores()}
 	if s.cfg.stack == StackRCKMPI {
 		r.mpi = rckmpi.New(r.ue)
 		return r
@@ -476,6 +572,38 @@ func (s *System) newRank(c *scc.Core) *Rank {
 		return r
 	}
 	r.ctx = core.NewCtx(r.ue, cfg)
+	return r
+}
+
+// newRankOnChip builds a rank of a multi-chip system: the collectives
+// context carries the chip's fabric port, so Allreduce/Broadcast/
+// Barrier dispatch to the hierarchical "hier" composition.
+func (s *System) newRankOnChip(ci int, c *scc.Core) *Rank {
+	perChip := s.chip.NumCores()
+	r := &Rank{
+		core:    c,
+		ue:      s.comms[ci].UE(c.ID),
+		gid:     ci*perChip + c.ID,
+		gn:      s.fab.NumChips() * perChip,
+		chipIdx: ci,
+	}
+	cfg := s.cfg.stack.coreConfig()
+	cfg.Recovery = s.cfg.recovery
+	cfg.Selector = s.cfg.selector
+	ctx, err := core.NewCtxFabric(r.ue, cfg, &core.Fabric{
+		Port:  s.fab.Port(ci),
+		Chip:  ci,
+		Chips: s.fab.NumChips(),
+		Intra: s.cfg.intra,
+	})
+	if err != nil {
+		// Construction only fails on malformed fabric parameters, which
+		// New's own wiring cannot produce — except an unknown
+		// WithIntraAlgorithm name, surfaced on first collective call.
+		r.evicted = err
+		return r
+	}
+	r.ctx = ctx
 	return r
 }
 
@@ -505,11 +633,16 @@ func checkN(fn string, n int) error {
 	return nil
 }
 
-// ID returns this rank's core number (0..47).
-func (r *Rank) ID() int { return r.core.ID }
+// ID returns this rank's system-global number, in [0, N()). On a single
+// chip it is the core ID; on a multi-chip system chip c's core k is
+// rank c*coresPerChip + k.
+func (r *Rank) ID() int { return r.gid }
 
-// N returns the number of ranks.
-func (r *Rank) N() int { return r.ue.NumUEs() }
+// N returns the number of ranks across the whole system.
+func (r *Rank) N() int { return r.gn }
+
+// Chip returns which chip this rank lives on (0 on a single chip).
+func (r *Rank) Chip() int { return r.chipIdx }
 
 // Now returns the rank's current virtual time.
 func (r *Rank) Now() Duration { return Duration(r.core.Now()) }
