@@ -25,6 +25,7 @@ import (
 	"scc/internal/core"
 	"scc/internal/rcce"
 	"scc/internal/simtime"
+	"scc/internal/synth"
 )
 
 func main() {
@@ -42,6 +43,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	// Synthesized schedules are selectable with -algo synth:<op>:<np>:<bucket>.
+	synth.RegisterDefaults()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "faultbench: "+format+"\n", args...)

@@ -13,6 +13,8 @@
 //	sccbench -list-algos                        # registered collective algorithms
 //	sccbench -op allreduce -algo recdouble      # pin one registry algorithm
 //	sccbench -tune                              # tuner sweep -> decision table JSON
+//	sccbench -synth                             # schedule synthesis sweep -> schedule table JSON
+//	sccbench -synth -mesh 16x16x2               # synthesize for a 512-core mesh
 //	sccbench -selfbench                         # host-throughput report -> BENCH_sim.json
 //	sccbench -gate BENCH_sim.json               # fail on >15% perf regression vs the report
 //	sccbench -op all -cpuprofile cpu.pprof      # profile the simulator itself
@@ -32,6 +34,7 @@ import (
 
 	"scc/internal/bench"
 	"scc/internal/core"
+	"scc/internal/synth"
 	"scc/internal/trace"
 )
 
@@ -48,6 +51,8 @@ func main() {
 	listAlgos := flag.Bool("list-algos", false, "list the registered collective algorithms and exit")
 	tune := flag.Bool("tune", false, "run the tuner sweep and write the winning decision table as JSON")
 	tuneout := flag.String("tuneout", "tuned_default.json", "decision-table output path (with -tune)")
+	synthRun := flag.Bool("synth", false, "run the schedule-synthesis sweep and write the winning schedules as JSON")
+	synthout := flag.String("synthout", "synth_default.json", "schedule-table output path (with -synth)")
 	bugfixed := flag.Bool("bugfixed", false, "simulate the chip with the local-MPB erratum fixed (Sec. IV-D ablation)")
 	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
 	selfbench := flag.Bool("selfbench", false, "measure the simulator's own host throughput and write the report")
@@ -64,6 +69,12 @@ func main() {
 	meshSpec := flag.String("mesh", "", "mesh geometry as ROWSxCOLSxCORES_PER_TILE, e.g. 8x8x2 (default: the paper's 4x6x2 chip)")
 	chipsSpec := flag.String("chips", "1", "chips joined by the inter-chip fabric; >1 sweeps the hierarchical collectives (allreduce and broadcast panels only)")
 	flag.Parse()
+
+	// The committed synthesized schedules join the registry for every
+	// sccbench mode (-list-algos, -algo synth:..., panels, the tuner).
+	// Registration is explicit here, not at package init: library tests
+	// pin registry digests to the hand-written set.
+	synth.RegisterDefaults()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "sccbench: "+format+"\n", args...)
@@ -94,9 +105,9 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if nChips > 1 && (*summary || *tune || *selfbench || *gate != "" ||
+	if nChips > 1 && (*summary || *tune || *synthRun || *selfbench || *gate != "" ||
 		*metricsOn || *metricsout != "" || *tracejson != "") {
-		fail("-chips > 1 applies to the hierarchical panel sweep only (not -summary/-tune/-selfbench/-gate/-metrics)")
+		fail("-chips > 1 applies to the hierarchical panel sweep only (not -summary/-tune/-synth/-selfbench/-gate/-metrics)")
 	}
 
 	if *listAlgos {
@@ -258,6 +269,47 @@ func main() {
 			exit(1)
 		}
 		fmt.Printf("wrote %s\n", *tuneout)
+		exit(0)
+	}
+
+	if *synthRun {
+		table, cells, err := bench.Synthesize(runner, model, bench.SynthSpecFor(model.NumCores()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		fmt.Println("Schedule synthesis (best candidate per op / np / size bucket vs hand-written algorithms):")
+		for _, c := range cells {
+			bucket := "unbounded"
+			if c.MaxN != 0 {
+				bucket = fmt.Sprintf("n<=%d", c.MaxN)
+			}
+			verdict := " "
+			if c.BeatsAll {
+				verdict = "*" // beats every hand-written algorithm
+			}
+			fmt.Printf("%s %-9s np=%-3d %-9s\n", verdict, c.Op, c.NP, bucket)
+			for _, cand := range c.Cands {
+				fmt.Printf("    synth %-8s steps=%-2d moves=%-5d %10.1fus\n",
+					cand.Gen, cand.Steps, cand.Moves, cand.Latency.Micros())
+			}
+			for _, name := range core.AlgorithmNames(c.Op) {
+				if lat, ok := c.Hand[name]; ok {
+					fmt.Printf("    hand  %-8s %29.1fus\n", name, lat.Micros())
+				}
+			}
+		}
+		data, err := table.Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		if err := os.WriteFile(*synthout, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sccbench:", err)
+			exit(1)
+		}
+		fmt.Printf("wrote %s (%d schedules; * = beats all hand-written algorithms on its cell)\n",
+			*synthout, len(table.Entries))
 		exit(0)
 	}
 

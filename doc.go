@@ -21,6 +21,24 @@
 // without load-balanced block partitioning), the MPB-direct Allreduce,
 // and the RCKMPI comparator.
 //
+// The chip itself is configurable. WithTopology(rows, cols,
+// coresPerTile) simulates the same protocols on any rectangular mesh
+// (the paper's chip is the 4×6×2 default, also reachable as a custom
+// *timing.Model via WithModel), WithHardwareBugFixed applies the
+// Sec. IV-D erratum ablation, and WithChips(k) joins k chips through
+// the internal/fabric inter-chip bus, where Allreduce and Broadcast
+// compose hierarchically (the registered "hier" algorithm, steered by
+// WithIntraAlgorithm) and the non-hierarchical collectives fail fast
+// with ErrCrossChip.
+//
+// Collective algorithm selection is pluggable: WithAlgorithm pins one
+// registered algorithm, WithTuned selects from a measured decision
+// table, WithSelector installs any policy. Beyond the hand-written
+// algorithms, internal/synth searches per-mesh schedules for
+// Broadcast/Reduce/Allreduce and compiles the winners into registered
+// algorithms named "synth:<op>:<np>:<bucket>" (see `sccbench -synth`
+// and DESIGN.md §11).
+//
 // A run can be instrumented without changing its virtual-time result:
 // construct the system with WithMetrics and execute programs with
 // RunResult, then read the frozen counter snapshot off Result.Metrics
@@ -36,11 +54,14 @@
 // internal/scc (cores, caches, message-passing buffers), internal/rcce,
 // internal/ircce, internal/lwnb (the three point-to-point libraries),
 // internal/core (the paper's optimized collectives), internal/rckmpi
-// (the MPI comparator), internal/gcmc (the thermodynamic application),
-// internal/metrics (the zero-allocation counter registry behind
-// WithMetrics), internal/trace (span recording and the Chrome-trace
-// exporter) and internal/bench (the harness that regenerates every
-// figure).
+// (the MPI comparator), internal/fabric (the inter-chip bus behind
+// WithChips), internal/fault (deterministic fault injection behind
+// WithFaults/WithRecovery/WithSelfHealing), internal/synth (schedule
+// search and compilation), internal/gcmc (the thermodynamic
+// application), internal/metrics (the zero-allocation counter registry
+// behind WithMetrics), internal/trace (span recording and the
+// Chrome-trace exporter) and internal/bench (the harness that
+// regenerates every figure).
 // DESIGN.md maps each to the paper; EXPERIMENTS.md records the
 // reproduction outcomes.
 package sccsim

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"scc/internal/core"
 	"scc/internal/rcce"
@@ -253,6 +254,14 @@ func Tune(r *Runner, model *timing.Model, sp TuneSpec) (*core.DecisionTable, []C
 		for npi, np := range sp.NPs {
 			for bi := range sp.Buckets {
 				for _, algo := range core.AlgorithmNames(k) {
+					// The tuner ranks the hand-written algorithms only:
+					// its table is embedded by internal/core, which does
+					// not link the synthesized schedules, so a "synth:"
+					// winner would make the committed artifact invalid.
+					// Synthesized schedules have their own table (synth.go).
+					if strings.HasPrefix(algo, "synth:") {
+						continue
+					}
 					jobs = append(jobs, job{
 						cellKey: cellKey{ki: ki, npi: npi, bi: bi},
 						k:       k, algo: algo, np: np, ns: sp.bucketSizes(bi),

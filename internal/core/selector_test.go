@@ -229,6 +229,41 @@ func TestDefaultTableValid(t *testing.T) {
 	}
 }
 
+// TestDefaultTableCoversLargeMeshes: the committed table carries rows
+// measured at 128 and 512 cores (tuned on a 16x16x2 mesh), so Tuned()
+// on a large mesh no longer inherits the 48-core rows' picks. The
+// pinned regression is EXPERIMENTS.md's heuristic-misfire band: at 512
+// cores and n = 552 the 48-core tables said ring, which leaves
+// ~1-element blocks and runs 2.7x slower than recursive doubling.
+func TestDefaultTableCoversLargeMeshes(t *testing.T) {
+	tab, err := DefaultTable()
+	if err != nil {
+		t.Fatalf("embedded default table: %v", err)
+	}
+	for _, np := range []int{128, 512} {
+		for _, k := range OpKinds() {
+			found := false
+			for _, e := range tab.Entries {
+				if e.Op == k.String() && e.NP == np {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("default table has no %s rows measured at np=%d", k, np)
+			}
+		}
+	}
+	if got := tab.Lookup(KindAllreduce, 512, 552); got == "ring" || got == "" {
+		t.Errorf("Lookup(allreduce, np=512, n=552) = %q — the 48-core ring pick must not survive at 512 cores", got)
+	}
+	// The 48-core rows themselves must be untouched by the new entries
+	// (Lookup picks the largest measured np <= requested).
+	if got := tab.Lookup(KindAllreduce, 48, 552); got != "mpb" {
+		t.Errorf("Lookup(allreduce, np=48, n=552) = %q, want the committed 48-core pick %q", got, "mpb")
+	}
+}
+
 // TestRegistryEnumeration locks the registration order (the tuner's
 // tie-break) and the per-op membership.
 func TestRegistryEnumeration(t *testing.T) {

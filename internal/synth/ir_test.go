@@ -1,0 +1,282 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"scc/internal/timing"
+)
+
+// The schedule-IR validity property, checked independently of the
+// simulator oracle: every schedule the enumerator emits is well-formed
+// under a from-scratch reference checker (not Validate itself), and
+// Validate rejects the canonical ways a schedule can be malformed.
+
+// refCheck is an independent re-implementation of the IR's symbolic
+// semantics, deliberately written as a plain contribution-set
+// interpreter so a bug in the bitset machinery of ir.go cannot hide
+// itself.
+func refCheck(t *testing.T, s *Schedule) {
+	t.Helper()
+	if s.NumSteps != len(s.Steps) {
+		t.Fatalf("%s np=%d gen=%s: header %d steps, body %d", s.Op, s.NP, s.Gen, s.NumSteps, len(s.Steps))
+	}
+	// have[r][c] = set of ranks whose contribution is in r's chunk c.
+	have := make([]map[int]map[int]bool, s.NP)
+	for r := range have {
+		have[r] = map[int]map[int]bool{}
+		for c := 0; c < s.Chunks; c++ {
+			set := map[int]bool{}
+			if s.Op == "broadcast" {
+				if r == 0 {
+					for q := 0; q < s.NP; q++ {
+						set[q] = true
+					}
+				}
+			} else {
+				set[r] = true
+			}
+			have[r][c] = set
+		}
+	}
+	for si, step := range s.Steps {
+		type key struct{ r, c int }
+		written := map[key]Move{}
+		read := map[key][]Move{}
+		post := map[key]map[int]bool{}
+		for _, mv := range step {
+			src := have[mv.From][mv.Chunk]
+			dst := have[mv.To][mv.Chunk]
+			if len(src) == 0 {
+				t.Fatalf("%s np=%d gen=%s step %d: %+v sends empty chunk", s.Op, s.NP, s.Gen, si, mv)
+			}
+			wk := key{mv.To, mv.Chunk}
+			if _, dup := written[wk]; dup {
+				t.Fatalf("%s np=%d gen=%s step %d: double write to (%d,%d)", s.Op, s.NP, s.Gen, si, mv.To, mv.Chunk)
+			}
+			written[wk] = mv
+			read[key{mv.From, mv.Chunk}] = append(read[key{mv.From, mv.Chunk}], mv)
+			merged := map[int]bool{}
+			for q := range src {
+				merged[q] = true
+			}
+			if mv.Kind == Combine {
+				for q := range dst {
+					if merged[q] {
+						t.Fatalf("%s np=%d gen=%s step %d: %+v double-counts rank %d", s.Op, s.NP, s.Gen, si, mv, q)
+					}
+					merged[q] = true
+				}
+			} else {
+				for q := range dst {
+					if !src[q] {
+						t.Fatalf("%s np=%d gen=%s step %d: copy %+v discards rank %d", s.Op, s.NP, s.Gen, si, mv, q)
+					}
+				}
+			}
+			post[wk] = merged
+		}
+		// No reads-before-writes within a step: a chunk that is written
+		// may be read by its owner only as the symmetric half of an
+		// exchange with the same peer.
+		for wk, w := range written {
+			for _, rmv := range read[wk] {
+				if len(read[wk]) > 1 || rmv.To != w.From {
+					t.Fatalf("%s np=%d gen=%s step %d: (%d,%d) written by %+v and read by %+v",
+						s.Op, s.NP, s.Gen, si, wk.r, wk.c, w, rmv)
+				}
+			}
+		}
+		for wk, set := range post {
+			have[wk.r][wk.c] = set
+		}
+	}
+	// Postcondition: every contribution reaches the root (reduce), or
+	// everyone (broadcast / allreduce).
+	checkFull := func(r int) {
+		for c := 0; c < s.Chunks; c++ {
+			if len(have[r][c]) != s.NP {
+				t.Fatalf("%s np=%d gen=%s: rank %d chunk %d ends with %d/%d contributions",
+					s.Op, s.NP, s.Gen, r, c, len(have[r][c]), s.NP)
+			}
+		}
+	}
+	if s.Op == "reduce" {
+		checkFull(0)
+	} else {
+		for r := 0; r < s.NP; r++ {
+			checkFull(r)
+		}
+	}
+}
+
+func TestEnumeratedSchedulesWellFormed(t *testing.T) {
+	models := map[string]*timing.Model{
+		"6x4x2":   timing.Default(),
+		"4x4x2":   timing.Topology(4, 4, 2),
+		"2x2x2":   timing.Topology(2, 2, 2),
+		"16x16x2": timing.Topology(16, 16, 2),
+	}
+	for label, m := range models {
+		nps := []int{2, 3, 8, m.NumCores()}
+		for _, np := range nps {
+			if np > m.NumCores() {
+				continue
+			}
+			for _, op := range []string{"allreduce", "broadcast", "reduce"} {
+				for _, n := range []int{16, 552} {
+					cands, err := Enumerate(m, op, np, n, Options{})
+					if err != nil {
+						t.Fatalf("%s: Enumerate(%s, np=%d, n=%d): %v", label, op, np, n, err)
+					}
+					if len(cands) == 0 {
+						t.Fatalf("%s: Enumerate(%s, np=%d, n=%d): no candidates", label, op, np, n)
+					}
+					for _, cand := range cands {
+						if err := cand.Sched.Validate(); err != nil {
+							t.Errorf("%s: %v", label, err)
+						}
+						refCheck(t, cand.Sched)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	m := timing.Default()
+	a, err := Enumerate(m, "allreduce", 48, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enumerate(m, "allreduce", 48, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost || movesFingerprint(a[i].Sched) != movesFingerprint(b[i].Sched) {
+			t.Fatalf("candidate %d differs across identical enumerations", i)
+		}
+	}
+}
+
+func TestHalvingDoublingTemplateValid(t *testing.T) {
+	for _, np := range []int{4, 8, 32, 64, 512} {
+		for _, chunks := range []int{2, 4, 8} {
+			s := halvingDoubling(np, chunks)
+			if chunks > np {
+				if s != nil {
+					t.Fatalf("hd(np=%d,chunks=%d) should be nil", np, chunks)
+				}
+				continue
+			}
+			if s == nil {
+				t.Fatalf("hd(np=%d,chunks=%d) unexpectedly nil", np, chunks)
+			}
+			s.Op = "allreduce"
+			s.NP = np
+			s.NumSteps = len(s.Steps)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("hd(np=%d,chunks=%d): %v", np, chunks, err)
+			}
+			refCheck(t, s)
+		}
+	}
+	if halvingDoubling(48, 2) != nil {
+		t.Fatal("hd should refuse non-power-of-two np")
+	}
+}
+
+// buildValid returns a minimal valid allreduce schedule on 2 ranks to
+// mutate in the negative tests.
+func buildValid() *Schedule {
+	return &Schedule{
+		Op: "allreduce", NP: 2, Chunks: 1, NumSteps: 1,
+		Steps: [][]Move{{
+			{Chunk: 0, From: 0, To: 1, Kind: Combine},
+			{Chunk: 0, From: 1, To: 0, Kind: Combine},
+		}},
+	}
+}
+
+func TestValidateRejectsMalformedSchedules(t *testing.T) {
+	if err := buildValid().Validate(); err != nil {
+		t.Fatalf("baseline schedule invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Schedule)
+		want   string
+	}{
+		{"header step count mismatch", func(s *Schedule) { s.NumSteps = 2 }, "header"},
+		{"incomplete coverage", func(s *Schedule) { s.Steps[0] = s.Steps[0][:1] }, "contributions"},
+		{"double write", func(s *Schedule) {
+			s.NP, s.NumSteps = 3, 2
+			s.Steps = [][]Move{
+				{{Chunk: 0, From: 1, To: 0, Kind: Combine}, {Chunk: 0, From: 2, To: 0, Kind: Combine}},
+				{{Chunk: 0, From: 0, To: 1, Kind: Copy}, {Chunk: 0, From: 0, To: 2, Kind: Copy}},
+			}
+		}, "two writes"},
+		{"double count", func(s *Schedule) {
+			s.NumSteps = 2
+			s.Steps = append(s.Steps, []Move{{Chunk: 0, From: 0, To: 1, Kind: Combine}})
+		}, "double-counts"},
+		{"read of written chunk", func(s *Schedule) {
+			s.NP, s.NumSteps = 3, 2
+			s.Steps = [][]Move{
+				{
+					{Chunk: 0, From: 0, To: 1, Kind: Combine},
+					{Chunk: 0, From: 1, To: 2, Kind: Combine}, // reads (1,0) which is written this step
+				},
+				{
+					{Chunk: 0, From: 2, To: 0, Kind: Combine},
+					{Chunk: 0, From: 2, To: 1, Kind: Copy},
+				},
+			}
+		}, "without a symmetric exchange"},
+		{"out of range", func(s *Schedule) { s.Steps[0][0].To = 9 }, "out of range"},
+		{"self move", func(s *Schedule) { s.Steps[0][0].To = 0 }, "self-move"},
+		{"broadcast with combine", func(s *Schedule) { s.Op = "broadcast" }, "broadcast"},
+		{"copy discarding contributions", func(s *Schedule) {
+			s.Steps[0] = []Move{
+				{Chunk: 0, From: 0, To: 1, Kind: Copy},
+				{Chunk: 0, From: 1, To: 0, Kind: Copy},
+			}
+		}, "discards"},
+	}
+	for _, tc := range cases {
+		s := buildValid()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a malformed schedule", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestChunkSpanPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 553} {
+		for _, chunks := range []int{1, 2, 4, 7} {
+			total, prevEnd := 0, 0
+			for c := 0; c < chunks; c++ {
+				off, l := chunkSpan(n, chunks, c)
+				if off != prevEnd {
+					t.Fatalf("n=%d chunks=%d: chunk %d starts at %d, want %d", n, chunks, c, off, prevEnd)
+				}
+				prevEnd = off + l
+				total += l
+			}
+			if total != n {
+				t.Fatalf("n=%d chunks=%d: spans cover %d elements", n, chunks, total)
+			}
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// The enumerator. Schedules come from three sources, all mesh-aware:
+//
+//   - greedy rollouts of a single move-generator flavor — "near"
+//     matches senders to Manhattan-nearest partners (MPB-direct pairs
+//     first: distance 0 is the other core on the same tile), "xy"
+//     prefers dimension-ordered partners (same tile, then same mesh
+//     row, then same column) so traffic follows the XY routes the mesh
+//     actually uses — at fanout 1 or 2 per sender;
+//   - a beam search that mixes those flavors step by step (a schedule
+//     may open with tile-local exchanges and switch to row-major
+//     fanout), pruned by a timing-model lower bound on the remaining
+//     cost;
+//   - the halving-doubling template family ("hd:<chunks>"), the
+//     chunked Rabenseifner structure for power-of-two communicators
+//     that moves a fraction ~2/C of what recursive doubling moves.
+//
+// Every candidate is symbolically validated before it is returned;
+// Enumerate never emits a schedule that Validate rejects.
+
+// Candidate pairs a valid schedule with its model-cost estimate at the
+// vector size the enumeration was asked about.
+type Candidate struct {
+	Sched *Schedule
+	Cost  simtime.Duration
+}
+
+// Options bounds the search.
+type Options struct {
+	// Beam is the beam width of the flavor-mixing search (default 4).
+	Beam int
+	// MaxCands is how many candidates Enumerate returns (default 4).
+	MaxCands int
+	// MaxChunkPow caps the halving-doubling chunk count at 2^MaxChunkPow
+	// (default 2, i.e. up to 4 chunks) to keep committed schedules small.
+	MaxChunkPow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Beam <= 0 {
+		o.Beam = 4
+	}
+	if o.MaxCands <= 0 {
+		o.MaxCands = 4
+	}
+	if o.MaxChunkPow <= 0 {
+		o.MaxChunkPow = 2
+	}
+	return o
+}
+
+// flavor is one move-generator configuration.
+type flavor struct {
+	gen string // "near" | "xy"
+	fan int    // receivers served per sender (1 or 2)
+}
+
+func (f flavor) label() string { return fmt.Sprintf("%s:f%d", f.gen, f.fan) }
+
+// flavorsFor lists the generator flavors legal for an op. Reduce is
+// fanout-1 only: the IR allows a single write per (rank, chunk) per
+// step, so a convergecast absorber takes one partial per step.
+func flavorsFor(op string) []flavor {
+	if op == "reduce" {
+		return []flavor{{"near", 1}, {"xy", 1}}
+	}
+	return []flavor{{"near", 1}, {"near", 2}, {"xy", 1}, {"xy", 2}}
+}
+
+// Enumerate searches schedules for one collective on np ranks (mapped
+// onto cores 0..np-1 of the model's mesh) at vector size n, and returns
+// the best candidates by model cost, provenance-deduplicated and
+// validated. op is an OpKind string: "allreduce", "broadcast", or
+// "reduce" (root = rank 0).
+func Enumerate(model *timing.Model, op string, np, n int, opt Options) ([]Candidate, error) {
+	if np < 2 {
+		return nil, fmt.Errorf("synth: np=%d (need at least 2)", np)
+	}
+	if np > model.NumCores() {
+		return nil, fmt.Errorf("synth: np=%d exceeds the %d-core mesh", np, model.NumCores())
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("synth: n=%d", n)
+	}
+	switch op {
+	case "allreduce", "broadcast", "reduce":
+	default:
+		return nil, fmt.Errorf("synth: unknown op %q", op)
+	}
+	opt = opt.withDefaults()
+	c := newCoster(model, np)
+
+	var cands []Candidate
+	add := func(s *Schedule) error {
+		if s == nil {
+			return nil
+		}
+		s.Op = op
+		s.NP = np
+		s.NumSteps = len(s.Steps)
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("synth: generator %q produced an invalid schedule: %w", s.Gen, err)
+		}
+		cands = append(cands, Candidate{Sched: s, Cost: c.scheduleCost(s, n)})
+		return nil
+	}
+
+	flavors := flavorsFor(op)
+	for _, f := range flavors {
+		if err := add(beamSearch(c, op, np, n, []flavor{f}, 1)); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(beamSearch(c, op, np, n, flavors, opt.Beam)); err != nil {
+		return nil, err
+	}
+	if op == "allreduce" {
+		for j := 1; j <= opt.MaxChunkPow; j++ {
+			if err := add(halvingDoubling(np, 1<<uint(j))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Cost < cands[j].Cost })
+	// Drop structural duplicates (different flavors can converge on the
+	// same move sequence; keep the cheapest label).
+	seen := map[string]bool{}
+	uniq := cands[:0]
+	for _, cand := range cands {
+		fp := movesFingerprint(cand.Sched)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		uniq = append(uniq, cand)
+	}
+	cands = uniq
+	if len(cands) > opt.MaxCands {
+		cands = cands[:opt.MaxCands]
+	}
+	return cands, nil
+}
+
+func movesFingerprint(s *Schedule) string {
+	b := make([]byte, 0, 8+8*s.TotalMoves())
+	b = append(b, byte(s.Chunks), byte(len(s.Steps)))
+	for _, step := range s.Steps {
+		b = append(b, 0xff)
+		for _, mv := range step {
+			b = append(b, byte(mv.Chunk), byte(mv.From), byte(mv.From>>8),
+				byte(mv.To), byte(mv.To>>8), byte(mv.Kind))
+		}
+	}
+	return string(b)
+}
+
+// searchState is one beam entry of the C=1 search: the contribution
+// mask per rank (for broadcast: full or empty), the steps taken so far,
+// and the accumulated model cost.
+type searchState struct {
+	masks []mask
+	steps [][]Move
+	cost  simtime.Duration
+	// active, for rooted reduce: ranks whose partial has not yet been
+	// absorbed (the convergecast frontier). nil for other ops.
+	active []bool
+	// mixed notes that steps came from more than one flavor.
+	lastLabel string
+	mixed     bool
+}
+
+func (s *searchState) clone() *searchState {
+	c := &searchState{
+		masks:     make([]mask, len(s.masks)),
+		steps:     append([][]Move(nil), s.steps...),
+		cost:      s.cost,
+		lastLabel: s.lastLabel,
+		mixed:     s.mixed,
+	}
+	for i := range s.masks {
+		c.masks[i] = s.masks[i].clone()
+	}
+	if s.active != nil {
+		c.active = append([]bool(nil), s.active...)
+	}
+	return c
+}
+
+// fingerprint encodes the exact mask state for beam deduplication.
+func (s *searchState) fingerprint() string {
+	b := make([]byte, 0, len(s.masks)*9)
+	for i := range s.masks {
+		m := s.masks[i]
+		b = append(b, byte(m.lo), byte(m.lo>>8), byte(m.lo>>16), byte(m.lo>>24),
+			byte(m.lo>>32), byte(m.lo>>40), byte(m.lo>>48), byte(m.lo>>56))
+		for _, w := range m.hi {
+			b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		if s.active != nil && s.active[i] {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return string(b)
+}
+
+func (s *searchState) biggestPop() int {
+	m := 0
+	for i := range s.masks {
+		if p := s.masks[i].pop(); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// done reports whether the state satisfies the op's postcondition.
+func (s *searchState) done(op string, np int) bool {
+	full := fullMask(np)
+	switch op {
+	case "reduce":
+		return s.masks[0].equal(full)
+	default:
+		for i := range s.masks {
+			if !s.masks[i].equal(full) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// beamSearch explores step sequences built from the given flavors and
+// returns the best terminal schedule, or nil when no flavor can finish
+// within the step budget. With a single flavor and width 1 it is a
+// greedy rollout of that flavor.
+func beamSearch(c *coster, op string, np, n int, flavors []flavor, width int) *Schedule {
+	init := &searchState{masks: make([]mask, np)}
+	for r := 0; r < np; r++ {
+		m := newMask(np)
+		switch op {
+		case "broadcast":
+			if r == 0 {
+				m = fullMask(np)
+			}
+		default:
+			m.set(r)
+		}
+		init.masks[r] = m
+	}
+	if op == "reduce" {
+		init.active = make([]bool, np)
+		for r := range init.active {
+			init.active[r] = true
+		}
+	}
+
+	elemsOf := func(int) int { return n } // C=1: the chunk is the vector
+	maxSteps := 2*ceilLog2(np) + 6
+	beam := []*searchState{init}
+	var best *searchState
+	for depth := 0; depth < maxSteps && len(beam) > 0; depth++ {
+		var next []*searchState
+		seen := map[string]bool{}
+		for _, st := range beam {
+			for _, f := range flavors {
+				step := nextStep(c, op, f, st)
+				if len(step) == 0 {
+					continue // no legal move under this flavor
+				}
+				child := st.clone()
+				child.applyOwn(op, step)
+				child.steps = append(child.steps, step)
+				child.cost += c.stepCost(step, elemsOf)
+				if child.lastLabel != "" && child.lastLabel != f.label() {
+					child.mixed = true
+				}
+				child.lastLabel = f.label()
+				if child.done(op, np) {
+					if best == nil || child.cost < best.cost {
+						best = child
+					}
+					continue
+				}
+				if best != nil && child.cost+c.lowerBound(child.biggestPop(), false) >= best.cost {
+					continue // pruned by the lower bound
+				}
+				fp := child.fingerprint()
+				if seen[fp] {
+					continue
+				}
+				seen[fp] = true
+				next = append(next, child)
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool {
+			li := next[i].cost + c.lowerBound(next[i].biggestPop(), false)
+			lj := next[j].cost + c.lowerBound(next[j].biggestPop(), false)
+			return li < lj
+		})
+		if len(next) > width {
+			next = next[:width]
+		}
+		beam = next
+	}
+	if best == nil {
+		return nil
+	}
+	label := best.lastLabel
+	if best.mixed {
+		label = "beam"
+	}
+	return &Schedule{Chunks: 1, Steps: best.steps, Gen: label}
+}
+
+// applyOwn mirrors applyStep's mask updates without its validation (the
+// generators only emit legal steps; Validate re-checks the final
+// schedule anyway).
+func (s *searchState) applyOwn(op string, step []Move) {
+	updated := make([]mask, 0, len(step))
+	idx := make([]int, 0, len(step))
+	for _, mv := range step {
+		m := s.masks[mv.From].clone()
+		if mv.Kind == Combine {
+			m.union(s.masks[mv.To])
+		}
+		updated = append(updated, m)
+		idx = append(idx, mv.To)
+		if op == "reduce" && mv.Kind == Combine {
+			s.active[mv.From] = false
+		}
+	}
+	for i, r := range idx {
+		s.masks[r] = updated[i]
+	}
+}
+
+// partnerKey orders candidate partners for a sender: "near" by pure
+// Manhattan distance, "xy" dimension-ordered (same tile, then same row,
+// then same column, then the rest), with the rank as the final
+// deterministic tie-break.
+func partnerKey(c *coster, gen string, a, b int) [3]int {
+	h := c.hops(a, b)
+	class := 0
+	if gen == "xy" {
+		ca, cb := c.coords[a], c.coords[b]
+		switch {
+		case h == 0:
+			class = 0
+		case ca.Y == cb.Y:
+			class = 1
+		case ca.X == cb.X:
+			class = 2
+		default:
+			class = 3
+		}
+	}
+	return [3]int{class, h, b}
+}
+
+func keyLess(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// nextStep builds one legal step from st under the given flavor. The
+// move list order (the compiler's global total order) is deterministic:
+// moves are appended in the order decisions are made and every decision
+// loop runs over rank-sorted slices.
+func nextStep(c *coster, op string, f flavor, st *searchState) []Move {
+	np := len(st.masks)
+	full := fullMask(np)
+	switch op {
+	case "broadcast":
+		// Holders serve the nearest non-holders, at most fan each.
+		var holders, missing []int
+		for r := 0; r < np; r++ {
+			if st.masks[r].equal(full) {
+				holders = append(holders, r)
+			} else {
+				missing = append(missing, r)
+			}
+		}
+		served := map[int]int{}
+		var step []Move
+		for _, r := range missing {
+			bestH := -1
+			var bestK [3]int
+			for _, h := range holders {
+				if served[h] >= f.fan {
+					continue
+				}
+				k := partnerKey(c, f.gen, h, r)
+				if bestH < 0 || keyLess(k, bestK) {
+					bestH, bestK = h, k
+				}
+			}
+			if bestH >= 0 {
+				served[bestH]++
+				step = append(step, Move{Chunk: 0, From: bestH, To: r, Kind: Copy})
+			}
+		}
+		return step
+
+	case "allreduce":
+		// Once full ranks exist they serve non-full ranks with copies
+		// (the finish phase for np that is not a power of two);
+		// otherwise pair ranks with disjoint masks for symmetric
+		// exchange+combine.
+		var fulls, part []int
+		for r := 0; r < np; r++ {
+			if st.masks[r].equal(full) {
+				fulls = append(fulls, r)
+			} else {
+				part = append(part, r)
+			}
+		}
+		var step []Move
+		if len(fulls) > 0 {
+			served := map[int]int{}
+			for _, r := range part {
+				bestF := -1
+				var bestK [3]int
+				for _, fr := range fulls {
+					if served[fr] >= f.fan {
+						continue
+					}
+					k := partnerKey(c, f.gen, fr, r)
+					if bestF < 0 || keyLess(k, bestK) {
+						bestF, bestK = fr, k
+					}
+				}
+				if bestF >= 0 {
+					served[bestF]++
+					step = append(step, Move{Chunk: 0, From: bestF, To: r, Kind: Copy})
+				}
+			}
+			return step
+		}
+		// Exchange phase: match each unpaired rank (ascending) with its
+		// best disjoint partner, preferring equal contribution mass
+		// (balanced doubling), then the flavor's distance order.
+		paired := make([]bool, np)
+		for r := 0; r < np; r++ {
+			if paired[r] {
+				continue
+			}
+			bestP := -1
+			var bestK [3]int
+			myPop := st.masks[r].pop()
+			for p := r + 1; p < np; p++ {
+				if paired[p] || !st.masks[r].disjoint(st.masks[p]) {
+					continue
+				}
+				k := partnerKey(c, f.gen, r, p)
+				popGap := st.masks[p].pop() - myPop
+				if popGap < 0 {
+					popGap = -popGap
+				}
+				k2 := [3]int{popGap*16 + k[0], k[1], k[2]}
+				if bestP < 0 || keyLess(k2, bestK) {
+					bestP, bestK = p, k2
+				}
+			}
+			if bestP >= 0 {
+				paired[r], paired[bestP] = true, true
+				step = append(step,
+					Move{Chunk: 0, From: r, To: bestP, Kind: Combine},
+					Move{Chunk: 0, From: bestP, To: r, Kind: Combine})
+			}
+		}
+		return step
+
+	case "reduce":
+		// Convergecast: active non-root ranks send their partial to the
+		// nearest active rank at least as close to the root (rank 0),
+		// which absorbs one partial per step (single-write rule).
+		var active []int
+		for r := 0; r < np; r++ {
+			if st.active[r] {
+				active = append(active, r)
+			}
+		}
+		if len(active) <= 1 {
+			return nil
+		}
+		absorbed := map[int]bool{}
+		sent := map[int]bool{}
+		var step []Move
+		// Farthest-from-root senders choose first so leaves drain
+		// toward the root.
+		order := append([]int(nil), active...)
+		sort.SliceStable(order, func(i, j int) bool {
+			hi, hj := c.hops(order[i], 0), c.hops(order[j], 0)
+			if hi != hj {
+				return hi > hj
+			}
+			return order[i] > order[j]
+		})
+		for _, r := range order {
+			// A rank that absorbs this step cannot also send: its chunk
+			// is being written and the validator (correctly) rejects
+			// reading it in the same step.
+			if r == 0 || sent[r] || absorbed[r] {
+				continue
+			}
+			bestP := -1
+			var bestK [3]int
+			for _, p := range active {
+				if p == r || sent[p] || absorbed[p] {
+					continue
+				}
+				if c.hops(p, 0) > c.hops(r, 0) || (c.hops(p, 0) == c.hops(r, 0) && p > r) {
+					continue // only send rootward
+				}
+				k := partnerKey(c, f.gen, r, p)
+				if bestP < 0 || keyLess(k, bestK) {
+					bestP, bestK = p, k
+				}
+			}
+			if bestP >= 0 {
+				absorbed[bestP] = true
+				sent[r] = true
+				step = append(step, Move{Chunk: 0, From: r, To: bestP, Kind: Combine})
+			}
+		}
+		return step
+	}
+	return nil
+}
+
+func ceilLog2(n int) int {
+	s, v := 0, 1
+	for v < n {
+		v *= 2
+		s++
+	}
+	return s
+}

@@ -1,0 +1,279 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"scc/internal/core"
+	"scc/internal/rcce"
+	"scc/internal/scc"
+	"scc/internal/simtime"
+	"scc/internal/timing"
+)
+
+// The oracle-side properties: every compiled schedule computes the same
+// bits as a sequential reference (dyadic inputs make float64 reduction
+// exact in any association order), runs deterministically in virtual
+// time, and works for any root and on proper subgroups through the
+// rank relabeling.
+
+func dyadicInputs(seed int64, cores, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, cores)
+	for c := range out {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = math.Round(rng.Float64()*64) / 8
+		}
+		out[c] = v
+	}
+	return out
+}
+
+// runCompiled executes one compiled schedule on a chip, communicator
+// cores 0..np-1 (a proper Group when np < the chip), root core 7 for
+// rooted ops (or 0 when np < 8), and returns the final virtual time and
+// the per-core results.
+func runCompiled(t *testing.T, model *timing.Model, a core.Algorithm, op string, np, n int, in [][]float64) (simtime.Time, [][]float64, int) {
+	t.Helper()
+	cfg := core.ConfigBalanced
+	chip := scc.New(model)
+	comm := rcce.NewComm(chip)
+	root := 7
+	if np < 8 {
+		root = np / 2
+	}
+	var grp *core.Group
+	if np < chip.NumCores() {
+		members := make([]int, np)
+		for i := range members {
+			members[i] = i
+		}
+		g, err := core.NewGroup(members, chip.NumCores())
+		if err != nil {
+			t.Fatal(err)
+		}
+		grp = g
+	}
+	results := make([][]float64, chip.NumCores())
+	chip.Launch(func(c *scc.Core) {
+		if c.ID >= np {
+			return
+		}
+		x, err := core.NewCtxGroup(comm.UE(c.ID), cfg, grp)
+		if err != nil {
+			t.Errorf("ctx: %v", err)
+			return
+		}
+		if !a.Applicable(x, n) {
+			t.Errorf("%s np=%d: compiled schedule not applicable", op, np)
+			return
+		}
+		src := c.AllocF64(n)
+		dst := c.AllocF64(n)
+		c.WriteF64s(src, in[c.ID])
+		switch op {
+		case "allreduce":
+			err = a.(core.AllreduceAlgorithm).Allreduce(x, src, dst, n, core.Sum)
+		case "broadcast":
+			err = a.(core.BroadcastAlgorithm).Broadcast(x, root, src, n)
+			dst = src
+		case "reduce":
+			err = a.(core.ReduceAlgorithm).Reduce(x, root, src, dst, n, core.Sum)
+		}
+		if err != nil {
+			t.Errorf("%s[%s] np=%d n=%d core %d: %v", op, a.Name(), np, n, c.ID, err)
+			return
+		}
+		if op == "reduce" && c.ID != root {
+			return
+		}
+		got := make([]float64, n)
+		c.ReadF64s(dst, got)
+		results[c.ID] = got
+	})
+	if err := chip.Run(); err != nil {
+		t.Fatalf("%s[%s] np=%d n=%d: %v", op, a.Name(), np, n, err)
+	}
+	return chip.Now(), results, root
+}
+
+func refResult(op string, root, np, cores int, in [][]float64) [][]float64 {
+	n := len(in[0])
+	out := make([][]float64, cores)
+	switch op {
+	case "allreduce", "reduce":
+		sum := make([]float64, n)
+		for c := 0; c < np; c++ {
+			for i := range in[c] {
+				sum[i] += in[c][i]
+			}
+		}
+		if op == "allreduce" {
+			for c := 0; c < np; c++ {
+				out[c] = sum
+			}
+		} else {
+			out[root] = sum
+		}
+	case "broadcast":
+		for c := 0; c < np; c++ {
+			out[c] = in[root]
+		}
+	}
+	return out
+}
+
+func TestCompiledSchedulesBitEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	model := timing.Default()
+	for _, op := range []string{"allreduce", "broadcast", "reduce"} {
+		for _, np := range []int{12, 48} {
+			for _, n := range []int{1, 13, 64, 200} {
+				cands, err := Enumerate(model, op, np, n, Options{MaxCands: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := dyadicInputs(int64(len(op))*1000+int64(np*1000+n), 48, n)
+				for _, cand := range cands {
+					a, err := Compile(cand.Sched, NameFor(op, np, 0))
+					if err != nil {
+						t.Fatal(err)
+					}
+					now1, got1, root := runCompiled(t, model, a, op, np, n, in)
+					now2, got2, _ := runCompiled(t, model, a, op, np, n, in)
+					if now1 != now2 {
+						t.Errorf("%s[%s] np=%d n=%d: nondeterministic virtual time %v vs %v",
+							op, cand.Sched.Gen, np, n, now1, now2)
+					}
+					want := refResult(op, root, np, 48, in)
+					for c := range want {
+						if want[c] == nil {
+							continue
+						}
+						if got1[c] == nil {
+							t.Errorf("%s[%s] np=%d n=%d: core %d missing result", op, cand.Sched.Gen, np, n, c)
+							continue
+						}
+						for i := range want[c] {
+							if got1[c][i] != want[c][i] || got1[c][i] != got2[c][i] {
+								t.Errorf("%s[%s] np=%d n=%d: core %d elem %d = %v, want %v (bit-exact)",
+									op, cand.Sched.Gen, np, n, c, i, got1[c][i], want[c][i])
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The halving-doubling template is the one chunked schedule family; run
+// it end to end on a power-of-two subgroup.
+func TestHalvingDoublingBitEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	model := timing.Default()
+	for _, chunks := range []int{2, 4} {
+		s := halvingDoubling(32, chunks)
+		s.Op, s.NP, s.NumSteps = "allreduce", 32, len(s.Steps)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{3, 64, 552} {
+			a, err := Compile(s, NameFor("allreduce", 32, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := dyadicInputs(int64(7000+chunks*100+n), 48, n)
+			_, got, _ := runCompiled(t, model, a, "allreduce", 32, n, in)
+			want := refResult("allreduce", 0, 32, 48, in)
+			for c := range want {
+				if want[c] == nil {
+					continue
+				}
+				if got[c] == nil {
+					t.Fatalf("hd:%d n=%d: core %d missing result", chunks, n, c)
+				}
+				for i := range want[c] {
+					if got[c][i] != want[c][i] {
+						t.Fatalf("hd:%d n=%d: core %d elem %d = %v, want %v", chunks, n, c, i, got[c][i], want[c][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNameFor(t *testing.T) {
+	if got := NameFor("allreduce", 48, 64); got != "synth:allreduce:48:64" {
+		t.Fatalf("NameFor = %q", got)
+	}
+	if got := NameFor("reduce", 512, 0); got != "synth:reduce:512:inf" {
+		t.Fatalf("NameFor = %q", got)
+	}
+}
+
+func TestDefaultTableRegisters(t *testing.T) {
+	tab, err := DefaultTable()
+	if err != nil {
+		t.Fatalf("embedded table: %v", err)
+	}
+	RegisterDefaults()
+	RegisterDefaults() // idempotent
+	for _, e := range tab.Entries {
+		k, err := core.ParseOpKind(e.Op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := NameFor(e.Op, e.NP, e.MaxN)
+		if !strings.HasPrefix(name, "synth:") {
+			t.Fatalf("name %q does not follow synth:<op>:<np>:<bucket>", name)
+		}
+		a := core.LookupAlgorithm(k, name)
+		if a == nil {
+			t.Fatalf("entry %s not registered", name)
+		}
+		if a.Name() != name {
+			t.Fatalf("registered name %q != %q", a.Name(), name)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	model := timing.Default()
+	cands, err := Enumerate(model, "broadcast", 8, 16, Options{MaxCands: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := &Table{
+		Transport: "test",
+		Entries:   []TableEntry{{Op: "broadcast", NP: 8, MaxN: 16, Sched: cands[0].Sched}},
+	}
+	data, err := tab.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 1 || back.Entries[0].Sched.TotalMoves() != cands[0].Sched.TotalMoves() {
+		t.Fatal("table did not survive the JSON round trip")
+	}
+	if err := back.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Register(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if core.LookupAlgorithm(core.KindBroadcast, "synth:broadcast:8:16") == nil {
+		t.Fatal("round-tripped table entry not registered")
+	}
+}

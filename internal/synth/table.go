@@ -1,0 +1,168 @@
+package synth
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"scc/internal/core"
+)
+
+// The committed schedule table: like internal/core's tuned_default.json
+// it is a data artifact produced by a sweep (`sccbench -synth`) and
+// checked in, so every build ships the same winning schedules. Each
+// entry is a full Schedule for one (op, np, size-bucket) cell; Register
+// compiles the entries into algorithms named
+//
+//	synth:<op>:<np>:<bucket>
+//
+// where <bucket> is the cell's MaxN upper edge in elements, or "inf"
+// for the unbounded bucket. Registration is explicit and idempotent —
+// call RegisterDefaults from main() — never done at package init: the
+// root package's golden tests enumerate the registry, and their digests
+// are pinned to the hand-written set.
+
+// TableEntry is one committed cell.
+type TableEntry struct {
+	Op    string    `json:"op"`
+	NP    int       `json:"np"`
+	MaxN  int       `json:"max_n"` // bucket upper edge in elements; 0 = unbounded
+	Sched *Schedule `json:"sched"`
+}
+
+// Table is the committed schedule set.
+type Table struct {
+	// Transport records the point-to-point configuration the sweep
+	// measured under (provenance, like core.DecisionTable.Transport).
+	Transport string       `json:"transport,omitempty"`
+	Entries   []TableEntry `json:"entries"`
+}
+
+// NameFor builds the registry name of a cell's algorithm.
+func NameFor(op string, np, maxN int) string {
+	if maxN == 0 {
+		return fmt.Sprintf("synth:%s:%d:inf", op, np)
+	}
+	return fmt.Sprintf("synth:%s:%d:%d", op, np, maxN)
+}
+
+// Validate checks every entry: schedule validity, op consistency, and
+// name uniqueness.
+func (t *Table) Validate() error {
+	seen := map[string]bool{}
+	for i, e := range t.Entries {
+		if e.Sched == nil {
+			return fmt.Errorf("synth: table entry %d has no schedule", i)
+		}
+		if e.Sched.Op != e.Op || e.Sched.NP != e.NP {
+			return fmt.Errorf("synth: table entry %d header (%s,np=%d) disagrees with schedule (%s,np=%d)",
+				i, e.Op, e.NP, e.Sched.Op, e.Sched.NP)
+		}
+		name := NameFor(e.Op, e.NP, e.MaxN)
+		if seen[name] {
+			return fmt.Errorf("synth: duplicate table entry %s", name)
+		}
+		seen[name] = true
+		if err := e.Sched.Validate(); err != nil {
+			return fmt.Errorf("synth: table entry %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Register compiles and registers every entry not already present in
+// the algorithm registry (idempotent: re-registering an existing name
+// is a no-op, so tables may be loaded more than once).
+func (t *Table) Register() error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	for _, e := range t.Entries {
+		name := NameFor(e.Op, e.NP, e.MaxN)
+		k, err := core.ParseOpKind(e.Op)
+		if err != nil {
+			return err
+		}
+		if core.LookupAlgorithm(k, name) != nil {
+			continue
+		}
+		a, err := Compile(e.Sched, name)
+		if err != nil {
+			return err
+		}
+		core.RegisterAlgorithm(a)
+	}
+	return nil
+}
+
+// Marshal renders the table as the committed JSON form: one compact
+// line per entry. A 512-rank chunked schedule carries thousands of
+// moves, so pretty-printing every move object would multiply the
+// committed artifact's size by ~5 for no reviewability gain — diffs on
+// this file are regenerations, not hand edits.
+func (t *Table) Marshal() ([]byte, error) {
+	var b []byte
+	b = append(b, "{\n"...)
+	if t.Transport != "" {
+		tr, err := json.Marshal(t.Transport)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, ` "transport": `...)
+		b = append(b, tr...)
+		b = append(b, ',')
+		b = append(b, '\n')
+	}
+	b = append(b, ` "entries": [`...)
+	for i, e := range t.Entries {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n  "...)
+		line, err := json.Marshal(e)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, line...)
+	}
+	b = append(b, "\n ]\n}"...)
+	return b, nil
+}
+
+// ParseTable decodes and validates a committed table.
+func ParseTable(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("synth: parse table: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+//go:embed synth_default.json
+var defaultTableJSON []byte
+
+// DefaultTable parses the embedded committed table.
+func DefaultTable() (*Table, error) { return ParseTable(defaultTableJSON) }
+
+var registerOnce sync.Once
+
+// RegisterDefaults registers the embedded table's schedules. Explicit
+// and idempotent; binaries that want the synthesized algorithms call it
+// once at startup. It panics on an invalid embedded table (the file is
+// committed alongside this code; corruption is a build error, not a
+// runtime condition).
+func RegisterDefaults() {
+	registerOnce.Do(func() {
+		t, err := DefaultTable()
+		if err != nil {
+			panic(err)
+		}
+		if err := t.Register(); err != nil {
+			panic(err)
+		}
+	})
+}
