@@ -17,6 +17,7 @@
 //	sccbench -synth -mesh 16x16x2               # synthesize for a 512-core mesh
 //	sccbench -selfbench                         # host-throughput report -> BENCH_sim.json
 //	sccbench -gate BENCH_sim.json               # fail on >15% perf regression vs the report
+//	sccbench -mesh 100x100 -scale               # 10,000-core smoke: footprint + wall time
 //	sccbench -op all -cpuprofile cpu.pprof      # profile the simulator itself
 //	sccbench -op allreduce -metrics             # instrumented run -> counter table
 //	sccbench -op allreduce -metrics -metricsout m.json -tracejson t.json
@@ -56,6 +57,7 @@ func main() {
 	bugfixed := flag.Bool("bugfixed", false, "simulate the chip with the local-MPB erratum fixed (Sec. IV-D ablation)")
 	parallel := flag.Int("parallel", 0, "sweep worker-pool size; 0 = GOMAXPROCS, 1 = serial (output is identical at any value)")
 	selfbench := flag.Bool("selfbench", false, "measure the simulator's own host throughput and write the report")
+	scale := flag.Bool("scale", false, "run one Barrier+Broadcast on every core of the -mesh chip and report host wall time and memory footprint")
 	benchout := flag.String("benchout", "BENCH_sim.json", "self-benchmark report path (with -selfbench)")
 	gate := flag.String("gate", "", "run the self-benchmark and fail if ns_per_op or allocs_per_op regresses past -gate-tol vs this baseline report (no report is written)")
 	gateTol := flag.Float64("gate-tol", 0.15, "fractional regression slack for -gate (0.15 = 15%)")
@@ -151,6 +153,17 @@ func main() {
 	}
 
 	runner := bench.NewRunner(*parallel)
+
+	if *scale {
+		fp := bench.MeasureFootprint(model)
+		fmt.Printf("scale run: %d cores (%s)\n", fp.Cores, bench.MeshLabel(model, 1))
+		fmt.Printf("  barrier    %12d ticks virtual\n", fp.BarrierTicks)
+		fmt.Printf("  broadcast  %12d ticks virtual\n", fp.BroadcastTicks)
+		fmt.Printf("  wall       %12.0f ms\n", fp.WallMs)
+		fmt.Printf("  footprint  %12.0f bytes/core live (%.1f MB peak heap)\n",
+			fp.BytesPerCore, fp.PeakHeapMB)
+		exit(0)
+	}
 
 	if *metricsOn || *metricsout != "" || *tracejson != "" {
 		o := bench.Op(*op)

@@ -32,6 +32,9 @@ type SelfBenchResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// WallMs is the total wall-clock time of the measured loop.
 	WallMs float64 `json:"wall_ms"`
+	// BytesPerCore is heap bytes retained per simulated core; only set
+	// for footprint records (see MeasureFootprint).
+	BytesPerCore float64 `json:"bytes_per_core,omitempty"`
 	// CellsPerSec is sweep throughput in panel cells (one (op, stack, n)
 	// simulation) per second; only set for panel records.
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
@@ -163,6 +166,11 @@ func SelfBench(model *timing.Model, workers int) []SelfBenchResult {
 	par.SpeedupVsSerial = serial.WallMs / par.WallMs
 	out = append(out, par)
 
+	// Footprint: heap bytes per simulated core at the tracked chip
+	// sizes, so a dense per-core structure creeping back in fails the
+	// gate long before anyone tries a 10k-core run.
+	out = append(out, SelfBenchFootprints()...)
+
 	return out
 }
 
@@ -211,6 +219,20 @@ func GateSelfBench(baseline, current []SelfBenchResult, tol float64) []string {
 		}
 		check(r.Name, "ns_per_op", b.NsPerOp, r.NsPerOp)
 		check(r.Name, "allocs_per_op", b.AllocsPerOp, r.AllocsPerOp)
+		// A zero baseline here means the record predates footprint
+		// tracking (or GC noise swallowed the delta), not a 1-byte
+		// budget. The ratio check gets a 4 KB/core absolute floor on
+		// top: on a small chip the total delta is a few hundred KB and
+		// one stray pooled buffer shifts the per-core number by
+		// kilobytes, while the regressions this gate exists for — a
+		// dense per-core structure creeping back in — are 10-100x.
+		if b.BytesPerCore > 0 {
+			if limit := b.BytesPerCore*(1+tol) + 4096; r.BytesPerCore > limit {
+				violations = append(violations,
+					fmt.Sprintf("%s: bytes_per_core regressed %.1f -> %.1f (limit %.1f)",
+						r.Name, b.BytesPerCore, r.BytesPerCore, limit))
+			}
+		}
 	}
 	return violations
 }

@@ -33,20 +33,21 @@ func (e *SpecError) Error() string {
 	return fmt.Sprintf("%s=%q: %s", e.Flag, e.Value, e.Why)
 }
 
-// ParseMeshSpec parses a ROWSxCOLSxCORES_PER_TILE mesh spec ("4x6x2"
+// ParseMeshSpec parses a ROWSxCOLS[xCORES_PER_TILE] mesh spec ("4x6x2"
 // is the paper's chip, "8x8x1" a 64-core variant) into a derived
-// timing model, validating the resulting geometry. The empty string
-// means the paper's default chip.
+// timing model, validating the resulting geometry. The two-part form
+// means one core per tile ("100x100" is the 10,000-core scaling
+// target). The empty string means the paper's default chip.
 func ParseMeshSpec(spec string) (*timing.Model, error) {
 	if spec == "" {
 		return timing.Default(), nil
 	}
 	parts := strings.Split(spec, "x")
-	if len(parts) != 3 {
+	if len(parts) != 2 && len(parts) != 3 {
 		return nil, &SpecError{Flag: "-mesh", Value: spec,
-			Why: "want ROWSxCOLSxCORES_PER_TILE, e.g. 4x6x2"}
+			Why: "want ROWSxCOLS or ROWSxCOLSxCORES_PER_TILE, e.g. 100x100 or 4x6x2"}
 	}
-	var dims [3]int
+	dims := [3]int{0, 0, 1} // cores per tile defaults to 1
 	for i, p := range parts {
 		v, err := strconv.Atoi(p)
 		if err != nil {

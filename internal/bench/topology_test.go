@@ -18,6 +18,8 @@ func TestParseMeshSpec(t *testing.T) {
 		{"4x6x2", 4, 6, 2, 48}, // the default, spelled out (rows x cols x cores/tile)
 		{"4x4x1", 4, 4, 1, 16},
 		{"8x8x2", 8, 8, 2, 128},
+		{"6x4", 6, 4, 1, 24}, // two-part spec: cores/tile defaults to 1
+		{"100x100", 100, 100, 1, 10000},
 	}
 	for _, c := range good {
 		m, err := ParseMeshSpec(c.spec)
@@ -38,7 +40,7 @@ func TestParseMeshSpec(t *testing.T) {
 		t.Error("ParseMeshSpec(4x6x2) differs from timing.Default()")
 	}
 
-	bad := []string{"6x4", "6x4x2x1", "ax4x2", "6x-1x2", "0x4x2", "6x4x0", "6 x 4 x 2"}
+	bad := []string{"6x4x2x1", "ax4x2", "6x-1x2", "0x4x2", "6x4x0", "6 x 4 x 2"}
 	for _, spec := range bad {
 		_, err := ParseMeshSpec(spec)
 		if err == nil {

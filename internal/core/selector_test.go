@@ -264,6 +264,43 @@ func TestDefaultTableCoversLargeMeshes(t *testing.T) {
 	}
 }
 
+// TestTunedClampsAboveLargestMeasuredRow: a communicator wider than
+// anything the tuner measured must clamp to the widest measured row —
+// for the committed table (widest row np=512) that means np=2048 and a
+// 10,000-core chip resolve every op to exactly the np=512 pick, never
+// to "" (which would silently fall back to the paper heuristic and its
+// known large-mesh misfires) and never to a narrower row.
+func TestTunedClampsAboveLargestMeasuredRow(t *testing.T) {
+	tab, err := DefaultTable()
+	if err != nil {
+		t.Fatalf("embedded default table: %v", err)
+	}
+	widest := 0
+	for _, e := range tab.Entries {
+		if e.NP > widest {
+			widest = e.NP
+		}
+	}
+	if widest != 512 {
+		t.Logf("note: widest measured row is now np=%d", widest)
+	}
+	for _, np := range []int{2048, 10000} {
+		for _, k := range OpKinds() {
+			for _, n := range []int{1, 64, 552, 100000} {
+				got := tab.Lookup(k, np, n)
+				if got == "" {
+					t.Errorf("Lookup(%s, np=%d, n=%d) = \"\" — no clamp to the widest measured row", k, np, n)
+					continue
+				}
+				if want := tab.Lookup(k, widest, n); got != want {
+					t.Errorf("Lookup(%s, np=%d, n=%d) = %q, want the np=%d row's pick %q",
+						k, np, n, got, widest, want)
+				}
+			}
+		}
+	}
+}
+
 // TestRegistryEnumeration locks the registration order (the tuner's
 // tie-break) and the per-op membership.
 func TestRegistryEnumeration(t *testing.T) {

@@ -102,8 +102,13 @@ type Injector interface {
 // and the array keeps it allocation-free. An entry is only valid when its
 // epoch matches the network's, so Reset is O(1) — it just bumps the epoch.
 type Network struct {
-	model *timing.Model
+	model    *timing.Model
+	numLinks int
 
+	// The occupancy arrays are allocated on the first real transfer, not
+	// at construction: a network that never carries a packet (an idle
+	// chip in a multi-chip fabric, or a huge mesh probed only locally)
+	// costs two nil slices instead of 16 bytes per directed link.
 	busyUntil []simtime.Time // indexed by linkIndex
 	busyEpoch []uint64       // busyUntil[i] valid iff busyEpoch[i] == epoch
 	epoch     uint64
@@ -131,7 +136,7 @@ func (n *Network) SetInjector(inj Injector) { n.inj = inj }
 func (n *Network) SetMetrics(reg *metrics.Registry) {
 	n.reg = reg
 	if reg != nil {
-		reg.InitLinks(len(n.busyUntil), n.LinkLabel)
+		reg.InitLinks(n.numLinks, n.LinkLabel)
 	}
 }
 
@@ -144,12 +149,10 @@ func (n *Network) LinkLabel(li int) string {
 
 // New creates a network using the model's geometry and link parameters.
 func New(model *timing.Model) *Network {
-	numLinks := model.MeshWidth * model.MeshHeight * numDirs
 	return &Network{
-		model:     model,
-		busyUntil: make([]simtime.Time, numLinks),
-		busyEpoch: make([]uint64, numLinks),
-		epoch:     1, // zero-valued busyEpoch entries start out stale
+		model:    model,
+		numLinks: model.MeshWidth * model.MeshHeight * numDirs,
+		epoch:    1, // zero-valued busyEpoch entries start out stale
 	}
 }
 
@@ -175,6 +178,10 @@ func (n *Network) Transfer(from, to Coord, nBytes int, start simtime.Time) simti
 	n.totalHops += int64(Hops(from, to))
 	if n.reg != nil {
 		n.reg.AddHops(Hops(from, to))
+	}
+	if n.busyUntil == nil {
+		n.busyUntil = make([]simtime.Time, n.numLinks)
+		n.busyEpoch = make([]uint64, n.numLinks)
 	}
 
 	// Serialization: cycles the packet body occupies one link.

@@ -142,20 +142,15 @@ func (c *Comm) DataBytes() int {
 }
 
 // UE returns the unit-of-execution handle for a core. Call from inside
-// the core's simulated program. The four per-peer protocol counters
-// share one flat backing array (indexed by peer ID) instead of four
-// heap maps: one allocation per UE, O(1) lookups, and no map churn on
-// the hot path.
+// the core's simulated program. The four per-peer protocol counters are
+// sparse paged arrays (see peerBytes): a fresh UE allocates no per-peer
+// state at all, and a running one pays only for the peers it actually
+// talks to — on a 10,000-core chip a dense NumUEs-sized slice per
+// counter per UE would dominate the whole simulation's footprint.
 func (c *Comm) UE(coreID int) *UE {
-	p := c.NumUEs()
-	state := make([]byte, 4*p)
 	return &UE{
-		comm:       c,
-		core:       c.chip.Cores[coreID],
-		barrierGen: state[0*p : 1*p],
-		groupGen:   state[1*p : 2*p],
-		sendSeq:    state[2*p : 3*p],
-		recvSeq:    state[3*p : 4*p],
+		comm: c,
+		core: c.chip.Cores[coreID],
 	}
 }
 
@@ -168,10 +163,10 @@ type UE struct {
 	// barrierGen tracks the barrier generation per root so barriers are
 	// reusable without extra clearing round trips; dissemGen does the
 	// same for the dissemination barrier, groupGen for group barriers.
-	// All four byte slices below are views into one shared backing
-	// array, indexed by peer core ID.
-	barrierGen []byte
-	groupGen   []byte
+	// The per-peer counters are sparse paged arrays indexed by peer
+	// core ID; untouched peers cost nothing.
+	barrierGen peerBytes
+	groupGen   peerBytes
 	dissemGen  byte
 
 	// activeSend is the send request currently occupying the core's MPB
@@ -181,8 +176,8 @@ type UE struct {
 	// sendSeq / recvSeq hold the hardened protocol's next sequence
 	// number per peer (see robust.go); stats accumulates its recovery
 	// counters.
-	sendSeq []byte
-	recvSeq []byte
+	sendSeq peerBytes
+	recvSeq peerBytes
 	stats   RecoveryStats
 
 	// epochSalt is folded into every hardened-protocol chunk checksum
@@ -391,12 +386,12 @@ func (u *UE) Barrier() {
 	const root = 0
 	m := u.core.Chip().Model
 	u.chargeCall(m.OverheadBlockingCall)
-	gen := u.barrierGen[root]
+	gen := u.barrierGen.get(root)
 	gen++
 	if gen == 0 {
 		gen = 1
 	}
-	u.barrierGen[root] = gen
+	u.barrierGen.set(root, gen)
 	if u.ID() == root {
 		for p := 0; p < u.NumUEs(); p++ {
 			if p == root {

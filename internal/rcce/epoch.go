@@ -42,11 +42,9 @@ func (u *UE) notifyPeer(peer int, alive bool) {
 // the self-healing runtime guarantees that with its epoch barrier.
 func (u *UE) SetEpoch(e uint32) {
 	u.epochSalt = e * 0x9E3779B1 // golden-ratio mix; 0 stays 0
-	for i := range u.sendSeq {
-		u.sendSeq[i] = 0
-		u.recvSeq[i] = 0
-		u.groupGen[i] = 0
-	}
+	u.sendSeq.reset()
+	u.recvSeq.reset()
+	u.groupGen.reset()
 }
 
 // resetRoles lists the flag-line bytes wiped by ResetProtocolFlags: the

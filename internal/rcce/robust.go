@@ -176,11 +176,11 @@ func (u *UE) initRobustOp(r *robustOp, kind ReqKind, costs NBCosts, pol Policy, 
 	if peer == u.ID() {
 		panic(fmt.Sprintf("rcce: UE %d robust %v with itself", peer, kind))
 	}
-	seqm := u.sendSeq
+	seqm := &u.sendSeq
 	if kind == ReqRecv {
-		seqm = u.recvSeq
+		seqm = &u.recvSeq
 	}
-	seq := seqm[peer]
+	seq := seqm.get(peer)
 	if seq == 0 {
 		seq = 1
 	}
@@ -293,14 +293,14 @@ func (r *robustOp) completeChunk(n int) {
 	u := r.u
 	r.off += n
 	r.chunks--
-	seqm := u.sendSeq
+	seqm := &u.sendSeq
 	verb := "robust sent %d/%d B peer %02d"
 	if r.kind == ReqRecv {
-		seqm = u.recvSeq
+		seqm = &u.recvSeq
 		verb = "robust recvd %d/%d B peer %02d"
 	}
 	r.seq = nextSeq(r.seq)
-	seqm[r.peer] = r.seq
+	seqm.set(r.peer, r.seq)
 	u.notifyPeer(r.peer, true) // a completed handshake clears suspicion
 	u.core.Note(simtime.Note3(verb, int64(r.off), int64(r.n), int64(r.peer)))
 	if r.chunks == 0 {
@@ -534,12 +534,12 @@ func (u *UE) barrierGroup(members []int, pol *Policy) error {
 		return nil
 	}
 	root := members[0]
-	gen := u.groupGen[root]
+	gen := u.groupGen.get(root)
 	gen++
 	if gen == 0 {
 		gen = 1
 	}
-	u.groupGen[root] = gen
+	u.groupGen.set(root, gen)
 	isGen := func(v byte) bool { return v == gen }
 
 	boundedWait := func(peer, off int, onRetry func()) error {

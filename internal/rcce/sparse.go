@@ -1,0 +1,58 @@
+package rcce
+
+// peerBytes is a sparse byte array indexed by peer core ID. The dense
+// form it replaces — a make([]byte, NumUEs) per counter per UE — is
+// invisible on the paper's 48-core chip but turns quadratic with the
+// core count: 10,240 UEs each carrying four 10,240-entry counters is
+// ~420 MB of zeroes for state that a real program touches only for its
+// actual communication partners (a handful of tree neighbors, ring
+// neighbors, or dissemination peers).
+//
+// Storage is paged: a small directory of fixed-size pages, both grown
+// on first write. Reads of never-written peers return zero without
+// allocating, matching the dense slice's initial state, and writing
+// zero to an untracked peer stays allocation-free too (the value is
+// already zero) — so epoch resets and cold reads cost nothing.
+type peerBytes struct {
+	pages [][]byte
+}
+
+// peerPage is the page granularity in peers. 64 covers every partner a
+// logarithmic collective talks to with one or two pages.
+const peerPage = 64
+
+// get returns the counter for peer; untracked peers read as zero.
+func (b *peerBytes) get(peer int) byte {
+	pg := peer / peerPage
+	if pg >= len(b.pages) || b.pages[pg] == nil {
+		return 0
+	}
+	return b.pages[pg][peer%peerPage]
+}
+
+// set stores the counter for peer, allocating its page on first real
+// (non-zero-into-empty) write.
+func (b *peerBytes) set(peer int, v byte) {
+	pg := peer / peerPage
+	if pg >= len(b.pages) {
+		if v == 0 {
+			return
+		}
+		grown := make([][]byte, pg+1)
+		copy(grown, b.pages)
+		b.pages = grown
+	}
+	p := b.pages[pg]
+	if p == nil {
+		if v == 0 {
+			return
+		}
+		p = make([]byte, peerPage)
+		b.pages[pg] = p
+	}
+	p[peer%peerPage] = v
+}
+
+// reset returns every counter to zero by dropping the pages — the
+// sparse equivalent of zeroing the dense slice.
+func (b *peerBytes) reset() { b.pages = nil }

@@ -20,16 +20,25 @@ type cacheLevel struct {
 	tail     *cacheNode
 	used     int // resident lines
 
-	// slab backs every node; it is allocated once at full capacity on
-	// first use, so an idle core's caches cost nothing and an active
-	// core cold-fills without per-line allocations. Nodes freed by
-	// invalidate go on the free list and are reused before the slab
-	// grows, so slab append never reallocates (node pointers stay valid).
-	slab []cacheNode
-	free *cacheNode // singly linked through next
+	// slabs back every node in fixed-size chunks allocated on demand, so
+	// a core's cache storage grows with the lines it actually touches,
+	// never with the level's nominal capacity (a 256 KB L2 would
+	// otherwise pin 8192 node structs per core on a chip where most
+	// cores touch a handful of lines). Each chunk is allocated at full
+	// cap and only ever appended within it, so node pointers stay valid
+	// for the chunk's lifetime. Nodes freed by invalidate go on the free
+	// list and are reused before a new chunk is cut.
+	slabs     [][]cacheNode
+	allocated int        // nodes handed out across all chunks
+	free      *cacheNode // singly linked through next
 
 	hits, misses int64
 }
+
+// cacheChunk is the slab growth quantum in nodes: small enough that a
+// barely-active core stays cheap, large enough that a hot core cuts a
+// new chunk rarely.
+const cacheChunk = 64
 
 type cacheNode struct {
 	line       int64
@@ -45,7 +54,7 @@ func newCacheLevel(capacityLines int) *cacheLevel {
 func (c *cacheLevel) get(line int64) *cacheNode {
 	if line >= 0 && line < int64(len(c.idx)) {
 		if s := c.idx[line]; s != 0 {
-			return &c.slab[s-1]
+			return &c.slabs[(s-1)/cacheChunk][(s-1)%cacheChunk]
 		}
 	}
 	return nil
@@ -58,8 +67,8 @@ func (c *cacheLevel) setIdx(line int64, slot int32) {
 		// usually reached within a few allocations, so aggressive growth
 		// keeps the copy chain short.
 		n := 4 * len(c.idx)
-		if n < 2048 {
-			n = 2048
+		if n < cacheChunk {
+			n = cacheChunk
 		}
 		for int64(n) <= line {
 			n *= 4
@@ -71,19 +80,22 @@ func (c *cacheLevel) setIdx(line int64, slot int32) {
 	c.idx[line] = slot
 }
 
-// newNode hands out node storage: free list first, then the slab.
+// newNode hands out node storage: free list first, then the chunked
+// slabs, cutting a new fixed-cap chunk only when the current one fills.
 func (c *cacheLevel) newNode(line int64) *cacheNode {
-	if c.slab == nil {
-		c.slab = make([]cacheNode, 0, c.capacity)
-	}
 	if n := c.free; n != nil {
 		c.free = n.next
 		n.line = line
 		n.prev, n.next = nil, nil
 		return n
 	}
-	c.slab = append(c.slab, cacheNode{line: line, slot: int32(len(c.slab) + 1)})
-	return &c.slab[len(c.slab)-1]
+	if c.allocated/cacheChunk == len(c.slabs) {
+		c.slabs = append(c.slabs, make([]cacheNode, 0, cacheChunk))
+	}
+	ch := &c.slabs[len(c.slabs)-1]
+	c.allocated++
+	*ch = append(*ch, cacheNode{line: line, slot: int32(c.allocated)})
+	return &(*ch)[len(*ch)-1]
 }
 
 // lookup probes the cache; on hit the line becomes most recently used.
@@ -141,7 +153,8 @@ func (c *cacheLevel) invalidate(line int64) {
 // flush empties the cache; storage is re-acquired lazily on next use.
 func (c *cacheLevel) flush() {
 	c.idx = nil
-	c.slab = nil
+	c.slabs = nil
+	c.allocated = 0
 	c.head, c.tail, c.free = nil, nil, nil
 	c.used = 0
 }

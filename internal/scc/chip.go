@@ -58,7 +58,7 @@ type Chip struct {
 	// injection. Install it before Run (typically right after New).
 	Fault FaultHook
 
-	mpb      []byte
+	mpb      *mpbArena
 	flagSigs map[int]*simtime.Signal
 	// sigSlab hands out Signal storage for flagSigs in chunks, so a
 	// fresh chip's first barrier does not allocate once per flag.
@@ -66,9 +66,14 @@ type Chip struct {
 	// anyWaiters holds one-shot signals registered by WaitFlagAny under
 	// every offset the waiter watches.
 	anyWaiters map[int][]*simtime.Signal
-	// waiting tracks MPB offsets with at least one blocked waiter, so
-	// bulk writes can cheaply detect flag overwrites.
-	waiting map[int]int
+	// waiting tracks MPB offsets with at least one blocked waiter,
+	// indexed by the owning core, so a bulk write scans only the waiters
+	// parked on the region it actually lands in — on a big chip during a
+	// broadcast, thousands of cores block on their own flags at once, and
+	// a per-write scan over all of them would be O(cores) per message.
+	// waitingTotal keeps the no-waiters-anywhere fast path O(1).
+	waiting      []map[int]int
+	waitingTotal int
 
 	// Hardware test-and-set registers, one per core (see tas.go).
 	tasTaken   []bool
@@ -106,10 +111,10 @@ func NewOnEngine(model *timing.Model, eng *simtime.Engine) *Chip {
 		Model:      model,
 		Engine:     eng,
 		Net:        mesh.New(model),
-		mpb:        make([]byte, model.MPBTotalBytes()),
+		mpb:        newMPBArena(model.NumCores(), model.MPBBytesPerCore),
 		flagSigs:   make(map[int]*simtime.Signal),
 		anyWaiters: make(map[int][]*simtime.Signal),
-		waiting:    make(map[int]int),
+		waiting:    make([]map[int]int, model.NumCores()),
 		tasTaken:   make([]bool, model.NumCores()),
 		tasSigs:    make(map[int]*simtime.Signal),
 		tasWaiting: make(map[int]int),
@@ -171,9 +176,33 @@ func (c *Chip) MPBOwner(off int) int { return off / c.Model.MPBBytesPerCore }
 // (MPBBytesPerCore bytes each).
 func (c *Chip) MPBBase(coreID int) int { return coreID * c.Model.MPBBytesPerCore }
 
-// MPBSlice exposes raw MPB contents for tests and debugging. It performs
-// no timing; simulated programs must use the Core accessors instead.
-func (c *Chip) MPBSlice(off, n int) []byte { return c.mpb[off : off+n] }
+// MPBSlice exposes a copy of raw MPB contents for tests and debugging.
+// It performs no timing; simulated programs must use the Core accessors
+// instead. (The MPB is stored as a paged sparse arena, so there is no
+// contiguous backing slice to alias; mutations must go through the Core
+// API anyway.)
+func (c *Chip) MPBSlice(off, n int) []byte { return c.mpb.snapshot(off, n) }
+
+// incWaiting registers one blocked waiter on the flag byte at off.
+func (c *Chip) incWaiting(off int) {
+	owner := c.MPBOwner(off)
+	m := c.waiting[owner]
+	if m == nil {
+		m = make(map[int]int)
+		c.waiting[owner] = m
+	}
+	m[off]++
+	c.waitingTotal++
+}
+
+// decWaiting deregisters one blocked waiter from the flag byte at off.
+func (c *Chip) decWaiting(off int) {
+	m := c.waiting[c.MPBOwner(off)]
+	if m[off]--; m[off] == 0 {
+		delete(m, off)
+	}
+	c.waitingTotal--
+}
 
 // flagSignal returns the waiter list for an MPB flag offset.
 func (c *Chip) flagSignal(off int) *simtime.Signal {

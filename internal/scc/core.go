@@ -405,7 +405,7 @@ func (c *Core) mpbAccessCost(owner, nLines int, read bool) simtime.Duration {
 
 // checkMPBRange panics on out-of-bounds MPB access.
 func (c *Core) checkMPBRange(off, n int) {
-	if off < 0 || n < 0 || off+n > len(c.chip.mpb) {
+	if off < 0 || n < 0 || off+n > c.chip.mpb.size() {
 		panic(fmt.Sprintf("scc: MPB access out of range: off=%d n=%d", off, n))
 	}
 }
@@ -438,7 +438,7 @@ func (c *Core) MPBWrite(off int, src []byte) {
 		}
 		src = data
 	}
-	copy(c.chip.mpb[off:], src)
+	c.chip.mpb.write(off, src)
 	c.prof.MPBBytesWritten += int64(len(src))
 	c.notifyFlagWaiters(off, len(src))
 }
@@ -457,7 +457,7 @@ func (c *Core) MPBRead(off int, dst []byte) {
 		r.Count(c.ID, metrics.CtrMPBReads)
 		r.CountN(c.ID, metrics.CtrMPBBytesRead, int64(len(dst)))
 	}
-	copy(dst, c.chip.mpb[off:off+len(dst)])
+	c.chip.mpb.read(off, dst)
 	c.prof.MPBBytesRead += int64(len(dst))
 }
 
@@ -496,7 +496,7 @@ func (c *Core) SetFlag(off int, v byte) {
 	if h := c.chip.Fault; h != nil && h.DropFlagWrite(c.ID, off, c.proc.Now()) {
 		return // flag write lost in flight: cost paid, no update, no wake-up
 	}
-	c.chip.mpb[off] = v
+	c.chip.mpb.setByte(off, v)
 	c.chip.flagSignal(off).Broadcast(c.chip.Engine)
 	for _, s := range c.chip.anyWaiters[off] {
 		s.Broadcast(c.chip.Engine)
@@ -512,7 +512,7 @@ func (c *Core) ProbeFlag(off int) byte {
 		r.AddPhase(c.ID, metrics.PhaseFlagSync, cost)
 		r.Count(c.ID, metrics.CtrFlagProbes)
 	}
-	return c.chip.mpb[off]
+	return c.chip.mpb.byteAt(off)
 }
 
 // WaitFlag blocks until the MPB flag byte at off equals want. Every probe
@@ -533,15 +533,13 @@ func (c *Core) WaitFlag(off int, want byte) simtime.Duration {
 		if reg != nil {
 			reg.Count(c.ID, metrics.CtrFlagProbes)
 		}
-		if c.chip.mpb[off] == want {
+		if c.chip.mpb.byteAt(off) == want {
 			break
 		}
 		blocked = true
-		c.chip.waiting[off]++
+		c.chip.incWaiting(off)
 		c.proc.WaitOn(c.chip.flagSignal(off), site)
-		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
-			delete(c.chip.waiting, off)
-		}
+		c.chip.decWaiting(off)
 	}
 	waited := c.proc.Now() - begin
 	c.prof.FlagWait += waited
@@ -590,7 +588,7 @@ func (c *Core) WaitFlagAny(offs []int, want byte) int {
 			if reg != nil {
 				reg.Count(c.ID, metrics.CtrFlagProbes)
 			}
-			if c.chip.mpb[off] == want {
+			if c.chip.mpb.byteAt(off) == want {
 				waited := c.proc.Now() - begin
 				c.prof.FlagWait += waited
 				c.recordWait(reg, waited, blocked)
@@ -617,14 +615,12 @@ func (c *Core) waitAnyBlock(offs []int) {
 	one := &c.anySig
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = append(c.chip.anyWaiters[off], one)
-		c.chip.waiting[off]++
+		c.chip.incWaiting(off)
 	}
 	c.proc.WaitOn(one, c.anySite(offs))
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = removeSignal(c.chip.anyWaiters[off], one)
-		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
-			delete(c.chip.waiting, off)
-		}
+		c.chip.decWaiting(off)
 	}
 }
 
@@ -650,18 +646,23 @@ func removeSignal(list []*simtime.Signal, s *simtime.Signal) []*simtime.Signal {
 }
 
 // notifyFlagWaiters wakes waiters whose flag byte lies inside a bulk MPB
-// write range (a data write can legitimately overwrite a flag area). It
-// scans only offsets that currently have blocked waiters, so the common
-// case (no overlap) is O(blocked cores), not O(all flags).
+// write range (a data write can legitimately overwrite a flag area). The
+// waiting index is keyed by owning core, so the scan touches only the
+// waiters parked inside the cores this write actually lands in — on a
+// 10,000-core chip with thousands of cores blocked on their own flags, a
+// whole-index scan per write would turn every collective quadratic.
 func (c *Core) notifyFlagWaiters(off, n int) {
-	if len(c.chip.waiting) == 0 {
+	if c.chip.waitingTotal == 0 || n <= 0 {
 		return
 	}
-	for o := range c.chip.waiting {
-		if o >= off && o < off+n {
-			c.chip.flagSignal(o).Broadcast(c.chip.Engine)
-			for _, s := range c.chip.anyWaiters[o] {
-				s.Broadcast(c.chip.Engine)
+	last := c.chip.MPBOwner(off + n - 1)
+	for owner := c.chip.MPBOwner(off); owner <= last; owner++ {
+		for o := range c.chip.waiting[owner] {
+			if o >= off && o < off+n {
+				c.chip.flagSignal(o).Broadcast(c.chip.Engine)
+				for _, s := range c.chip.anyWaiters[o] {
+					s.Broadcast(c.chip.Engine)
+				}
 			}
 		}
 	}

@@ -1,0 +1,157 @@
+package scc
+
+// mpbArena stores the chip-wide MPB SRAM sparsely. The dense
+// representation it replaces — one flat byte slice of
+// NumCores x MPBBytesPerCore — is fine for the paper's 48-core chip
+// (384 KB) but scales quadratically with the core count, because the
+// per-core MPB itself grows with NumCores (every core reserves a flag
+// region for every potential writer). A 100x100-core mesh needs
+// ~12.8 MB of MPB per core, ~128 GB for the chip, of which a real
+// collective touches a vanishing fraction: a core's flag traffic lands
+// in the few writer regions of its actual communication partners plus
+// its chunk-staging area.
+//
+// The arena therefore pages each core's MPB region: a per-core page
+// directory, allocated on that core's first MPB write, maps fixed-size
+// pages that are themselves allocated on first write. Reads of
+// never-written bytes return zero without allocating anything — exactly
+// the all-zeroes initial state of the dense slice, so a blocked waiter
+// polling a flag nobody has set yet costs no memory. Contents and
+// out-of-range behavior are bit-identical to the dense slice; only the
+// host-side representation changes, so virtual time and all golden
+// digests are unaffected.
+type mpbArena struct {
+	perCore  int // MPBBytesPerCore
+	pageSize int
+	pages    int // pages per core (ceil(perCore / pageSize))
+	total    int // NumCores * perCore
+	cores    [][][]byte
+}
+
+// mpbPageSize is the write granularity of the arena. 4 KB spans a few
+// per-writer flag regions, so one collective's flag working set per core
+// stays within a couple of pages while an untouched core costs only its
+// nil directory slot.
+const mpbPageSize = 4096
+
+func newMPBArena(numCores, perCore int) *mpbArena {
+	pageSize := mpbPageSize
+	if perCore < pageSize {
+		pageSize = perCore
+	}
+	return &mpbArena{
+		perCore:  perCore,
+		pageSize: pageSize,
+		pages:    (perCore + pageSize - 1) / pageSize,
+		total:    numCores * perCore,
+		cores:    make([][][]byte, numCores),
+	}
+}
+
+// size returns the arena's addressable extent in bytes (the dense
+// slice's len).
+func (a *mpbArena) size() int { return a.total }
+
+// byteAt reads one byte; untouched storage reads as zero.
+func (a *mpbArena) byteAt(off int) byte {
+	core := off / a.perCore
+	dir := a.cores[core]
+	if dir == nil {
+		return 0
+	}
+	rem := off - core*a.perCore
+	pg := dir[rem/a.pageSize]
+	if pg == nil {
+		return 0
+	}
+	return pg[rem%a.pageSize]
+}
+
+// setByte writes one byte, allocating its page on first touch.
+func (a *mpbArena) setByte(off int, v byte) {
+	core := off / a.perCore
+	rem := off - core*a.perCore
+	a.page(core, rem/a.pageSize)[rem%a.pageSize] = v
+}
+
+// page returns core's pg-th page, allocating directory and page on
+// demand.
+func (a *mpbArena) page(core, pg int) []byte {
+	dir := a.cores[core]
+	if dir == nil {
+		dir = make([][]byte, a.pages)
+		a.cores[core] = dir
+	}
+	p := dir[pg]
+	if p == nil {
+		p = make([]byte, a.pageSize)
+		dir[pg] = p
+	}
+	return p
+}
+
+// read copies [off, off+len(dst)) into dst. Untouched ranges read as
+// zeroes without allocating pages.
+func (a *mpbArena) read(off int, dst []byte) {
+	for len(dst) > 0 {
+		core := off / a.perCore
+		rem := off - core*a.perCore
+		pg := rem / a.pageSize
+		po := rem - pg*a.pageSize
+		chunk := a.chunkLen(rem, po, len(dst))
+		dir := a.cores[core]
+		var p []byte
+		if dir != nil {
+			p = dir[pg]
+		}
+		if p == nil {
+			clearBytes(dst[:chunk])
+		} else {
+			copy(dst[:chunk], p[po:])
+		}
+		dst = dst[chunk:]
+		off += chunk
+	}
+}
+
+// write copies src into [off, off+len(src)), allocating pages on demand.
+func (a *mpbArena) write(off int, src []byte) {
+	for len(src) > 0 {
+		core := off / a.perCore
+		rem := off - core*a.perCore
+		pg := rem / a.pageSize
+		po := rem - pg*a.pageSize
+		chunk := a.chunkLen(rem, po, len(src))
+		copy(a.page(core, pg)[po:], src[:chunk])
+		src = src[chunk:]
+		off += chunk
+	}
+}
+
+// chunkLen bounds one copy step: it may not cross the page end, the
+// core-region end (the last page of a region may have slack that
+// belongs to no address), or the remaining request.
+func (a *mpbArena) chunkLen(rem, po, want int) int {
+	chunk := a.pageSize - po
+	if r := a.perCore - rem; r < chunk {
+		chunk = r
+	}
+	if want < chunk {
+		chunk = want
+	}
+	return chunk
+}
+
+// snapshot materializes a copy of [off, off+n). Test/debug accessor
+// (Chip.MPBSlice); never on a simulated hot path.
+func (a *mpbArena) snapshot(off, n int) []byte {
+	out := make([]byte, n)
+	a.read(off, out)
+	return out
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

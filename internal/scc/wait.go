@@ -39,23 +39,21 @@ func (c *Core) WaitFlagMatch(off int, limit simtime.Duration, pred func(byte) bo
 		if reg != nil {
 			reg.Count(c.ID, metrics.CtrFlagProbes)
 		}
-		if v := c.chip.mpb[off]; pred(v) {
+		if v := c.chip.mpb.byteAt(off); pred(v) {
 			return finish(v, true)
 		}
 		if limit > 0 && c.proc.Now() >= deadline {
-			return finish(c.chip.mpb[off], false)
+			return finish(c.chip.mpb.byteAt(off), false)
 		}
 		blocked = true
-		c.chip.waiting[off]++
+		c.chip.incWaiting(off)
 		site := simtime.WaitSite{Kind: simtime.WaitFlagPred, Core: int32(c.ID), Off: int32(off)}
 		if limit > 0 {
 			c.proc.WaitOnTimeout(c.chip.flagSignal(off), deadline-c.proc.Now(), site)
 		} else {
 			c.proc.WaitOn(c.chip.flagSignal(off), site)
 		}
-		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
-			delete(c.chip.waiting, off)
-		}
+		c.chip.decWaiting(off)
 	}
 }
 
@@ -89,7 +87,7 @@ func (c *Core) WaitFlagsMatch(offs []int, limit simtime.Duration, pred func(i in
 			if reg != nil {
 				reg.Count(c.ID, metrics.CtrFlagProbes)
 			}
-			if v := c.chip.mpb[off]; pred(i, v) {
+			if v := c.chip.mpb.byteAt(off); pred(i, v) {
 				finish()
 				return i, v, true
 			}
@@ -116,13 +114,11 @@ func (c *Core) waitAnyBlockTimeout(offs []int, d simtime.Duration) {
 	one := &c.anySig
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = append(c.chip.anyWaiters[off], one)
-		c.chip.waiting[off]++
+		c.chip.incWaiting(off)
 	}
 	c.proc.WaitOnTimeout(one, d, c.anySite(offs))
 	for _, off := range offs {
 		c.chip.anyWaiters[off] = removeSignal(c.chip.anyWaiters[off], one)
-		if c.chip.waiting[off]--; c.chip.waiting[off] == 0 {
-			delete(c.chip.waiting, off)
-		}
+		c.chip.decWaiting(off)
 	}
 }

@@ -138,12 +138,21 @@ func (h *eventQueue) grow() {
 //
 // The zero value is not usable.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	procs  []*Proc
-	live   int // processes that have not finished
-	failed error
+	now   Time
+	queue eventQueue
+	seq   uint64
+	// spawned numbers processes (Proc.ID); unstarted queues processes
+	// spawned since the last Run, and active tracks the current run's
+	// started-but-unreaped processes. Keeping only these two short lists
+	// makes engine bookkeeping O(active processes): an engine reused for
+	// many programs does not accumulate (or rescan) every process it ever
+	// ran, which is what made goroutine-per-run teardown O(total cores)
+	// before the pool.
+	spawned   int
+	unstarted []*Proc
+	active    []*Proc
+	live      int // processes that have not finished
+	failed    error
 
 	// root parks the Run caller while processes hand control among
 	// themselves; the process that ends the run (last finisher, deadlock
@@ -176,8 +185,9 @@ func NewEngine() *Engine {
 // of the event being executed.
 func (e *Engine) Now() Time { return e.now }
 
-// Procs returns the processes spawned so far, in spawn order.
-func (e *Engine) Procs() []*Proc { return e.procs }
+// NumSpawned reports how many processes have been spawned on this
+// engine over its lifetime.
+func (e *Engine) NumSpawned() int { return e.spawned }
 
 // SchedStats reports how many events have been delivered by a
 // cross-goroutine handoff and how many were absorbed inline by the
@@ -195,13 +205,14 @@ func (e *Engine) SchedStats() (handoffs, fastpath uint64) {
 // real-time synchronization.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		id:     len(e.procs),
+		id:     e.spawned,
 		name:   name,
 		eng:    e,
 		fn:     fn,
 		resume: make(chan struct{}, 1),
 	}
-	e.procs = append(e.procs, p)
+	e.spawned++
+	e.unstarted = append(e.unstarted, p)
 	return p
 }
 
@@ -225,17 +236,16 @@ func (e *Engine) Run() error {
 	if e.root == nil {
 		e.root = make(chan struct{}, 1)
 	}
-	e.live = 0
-	for _, p := range e.procs {
-		if p.done {
-			continue
-		}
-		if !p.started {
-			p.start()
-			e.schedule(p, e.now)
-		}
+	// Every earlier run ended with all its processes reaped (live == 0 on
+	// every exit path), so only the processes spawned since then need
+	// starting; the engine never rescans its full spawn history.
+	for _, p := range e.unstarted {
+		p.start()
+		e.schedule(p, e.now)
+		e.active = append(e.active, p)
 		e.live++
 	}
+	e.unstarted = e.unstarted[:0]
 	if e.live == 0 {
 		return nil
 	}
@@ -260,7 +270,18 @@ func (e *Engine) Run() error {
 		e.shutdown()
 		return err
 	}
+	e.clearActive()
 	return nil
+}
+
+// clearActive empties the active list (all its processes are done),
+// dropping the *Proc references so finished processes and their
+// closed-over state are collectable even while the engine lives on.
+func (e *Engine) clearActive() {
+	for i := range e.active {
+		e.active[i] = nil
+	}
+	e.active = e.active[:0]
 }
 
 // dispatchFromRoot pops the next runnable event and resumes its process,
@@ -378,19 +399,20 @@ var ErrTimeLimit = errors.New("simtime: virtual time limit exceeded")
 // here (shuttingDown), one victim at a time.
 func (e *Engine) shutdown() {
 	e.shuttingDown = true
-	for _, p := range e.procs {
-		if !p.done && p.started {
+	for _, p := range e.active {
+		if !p.done {
 			p.killed = true
 			p.resume <- struct{}{}
 			<-e.root
 		}
 	}
 	e.shuttingDown = false
+	e.clearActive()
 }
 
 func (e *Engine) deadlockError() error {
 	var stuck []string
-	for _, p := range e.procs {
+	for _, p := range e.active {
 		if !p.done {
 			// The sites and notes were recorded as raw integers on the hot
 			// path; this is the one place they are actually formatted.

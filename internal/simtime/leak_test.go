@@ -7,11 +7,15 @@ import (
 	"time"
 )
 
-// waitGoroutines polls until the live goroutine count falls back to the
-// baseline (process goroutines unwind asynchronously after shutdown
-// hands control back to Run's caller).
+// waitGoroutines drains the worker pool, then polls until the live
+// goroutine count falls back to the baseline (pool workers park — and,
+// once drained, unwind — asynchronously after shutdown hands control
+// back to Run's caller). Draining first separates the two leak classes:
+// a parked pool worker is expected state, a goroutine that survives the
+// drain is a real leak.
 func waitGoroutines(t *testing.T, base int, context string) {
 	t.Helper()
+	DrainWorkerPool()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		runtime.GC()

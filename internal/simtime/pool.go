@@ -1,0 +1,130 @@
+package simtime
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the process-goroutine pool. Before it, every Spawn paid a
+// fresh goroutine (stack allocation plus scheduler registration) and
+// every run teardown paid the matching exits — a bench sweep creates and
+// destroys NumCores goroutines per cell, and a 10,000-core chip would
+// create and destroy 10,000 per run. The pool replaces that with
+// trampoline workers: a worker goroutine runs one process to completion,
+// parks itself on a free list, and is re-adopted by the next Spawned
+// process of any engine in the same Go process.
+//
+// Determinism is untouched: each Proc still owns its private resume
+// channel and the engine's direct-handoff token protocol is unchanged —
+// the pool only changes which OS-level goroutine the process body runs
+// on, which no simulated program can observe.
+//
+// The pool is process-global (workers outlive engines by design), so all
+// bookkeeping is mutex-guarded. The synchronization is cheap: exactly
+// two pool operations per process lifetime (adopt, park), nothing on the
+// event hot path.
+
+// worker is one parked trampoline goroutine. Its jobs channel carries at
+// most one process at a time (capacity 1, so handing it work never
+// blocks the spawner); closing the channel retires the worker.
+type worker struct {
+	jobs chan *Proc
+}
+
+// loop is the trampoline: run an adopted process to completion, park,
+// wait for the next. The park happens after Proc.run has passed the
+// engine's control token on, so a parked worker never holds a token.
+func (w *worker) loop() {
+	for p := range w.jobs {
+		p.run()
+		parkWorker(w)
+	}
+}
+
+var pool struct {
+	mu   sync.Mutex
+	idle []*worker
+	// workers counts worker goroutines in existence (parked or running);
+	// spawned and adopted are lifetime totals for stats and tests.
+	workers int
+	spawned uint64
+	adopted uint64
+}
+
+// getWorker pops a parked worker, or creates one when the free list is
+// empty. LIFO reuse keeps recently-used stacks warm.
+func getWorker() *worker {
+	pool.mu.Lock()
+	if n := len(pool.idle); n > 0 {
+		w := pool.idle[n-1]
+		pool.idle[n-1] = nil
+		pool.idle = pool.idle[:n-1]
+		pool.adopted++
+		pool.mu.Unlock()
+		return w
+	}
+	pool.workers++
+	pool.spawned++
+	pool.mu.Unlock()
+	w := &worker{jobs: make(chan *Proc, 1)}
+	go w.loop()
+	return w
+}
+
+// parkWorker returns a worker to the free list.
+func parkWorker(w *worker) {
+	pool.mu.Lock()
+	pool.idle = append(pool.idle, w)
+	pool.mu.Unlock()
+}
+
+// PoolStats is a snapshot of the worker pool.
+type PoolStats struct {
+	// Workers is how many worker goroutines exist right now (parked or
+	// running a process); Idle is how many of them are parked.
+	Workers, Idle int
+	// Spawned counts workers ever created; Adopted counts processes that
+	// reused a parked worker instead of costing a new goroutine.
+	Spawned, Adopted uint64
+}
+
+// WorkerPoolStats reports the current pool state. Tests use it to prove
+// that repeated runs re-adopt workers instead of spawning, and that
+// abnormal exits leave workers parked rather than leaked.
+func WorkerPoolStats() PoolStats {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return PoolStats{
+		Workers: pool.workers,
+		Idle:    len(pool.idle),
+		Spawned: pool.spawned,
+		Adopted: pool.adopted,
+	}
+}
+
+// DrainWorkerPool retires every pool worker and returns how many were
+// drained. It waits for in-flight workers — ones between finishing a
+// process and parking — so after it returns the pool holds no goroutines
+// at all (the retired workers may still be unwinding; poll
+// runtime.NumGoroutine to observe the exits). It must not be called
+// while any engine is running: a worker still executing a live process
+// would keep the drain waiting forever.
+func DrainWorkerPool() int {
+	drained := 0
+	for {
+		pool.mu.Lock()
+		idle := pool.idle
+		pool.idle = nil
+		pool.workers -= len(idle)
+		left := pool.workers
+		pool.mu.Unlock()
+		for _, w := range idle {
+			close(w.jobs)
+		}
+		drained += len(idle)
+		if left == 0 {
+			return drained
+		}
+		runtime.Gosched()
+	}
+}

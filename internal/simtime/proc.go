@@ -49,30 +49,38 @@ func (p *Proc) Now() Time { return p.eng.now }
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// start launches the process goroutine. The goroutine immediately blocks
-// waiting for its first resume.
+// start hands the process to a pool worker (see pool.go), which parks
+// on the resume channel until the engine first dispatches to it.
 func (p *Proc) start() {
 	if p.started {
 		panic("simtime: process started twice")
 	}
 	p.started = true
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				if _, isKill := r.(killSentinel); !isKill && p.eng.failed == nil {
-					p.eng.failed = fmt.Errorf("simtime: process %q panicked: %v", p.name, r)
-				}
+	getWorker().jobs <- p
+}
+
+// run is the process body executed by a pool worker: wait for the first
+// resume, run fn, and on any exit — normal return, panic, or the
+// shutdown kill sentinel — pass the engine's control token on. When run
+// returns the process holds no token and nothing will ever send on its
+// resume channel again (events for done processes are discarded and
+// shutdown skips them), so the worker is free to adopt its next process.
+func (p *Proc) run() {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); !isKill && p.eng.failed == nil {
+				p.eng.failed = fmt.Errorf("simtime: process %q panicked: %v", p.name, r)
 			}
-			p.done = true
-			p.eng.live--
-			p.eng.finish()
-		}()
-		if p.killed {
-			return
 		}
-		p.fn(p)
+		p.done = true
+		p.eng.live--
+		p.eng.finish()
 	}()
+	if p.killed {
+		return
+	}
+	p.fn(p)
 }
 
 // block yields control to the next event's process and waits to be

@@ -399,6 +399,16 @@ func (m *Model) Validate() error {
 		return errf("MPB layout leaves no data region: %d cores x %d-byte flag regions + %d user-flag lines exceed %d bytes per core",
 			m.NumCores(), m.FlagBytesPerWriter(), UserFlagLines, m.MPBBytesPerCore)
 	}
+	// The chip-wide MPB address space is NumCores x MPBBytesPerCore and
+	// must stay int-addressable: the MPB arena, offset arithmetic, and
+	// flag indexing all use int offsets. The space is virtual (sparse
+	// storage allocates only touched pages), but a product that overflows
+	// would silently wrap offsets. 1<<56 bounds ~9000x the largest
+	// supported topology while rejecting any wrapped product.
+	if total := int64(m.NumCores()) * int64(m.MPBBytesPerCore); total <= 0 || total > 1<<56 {
+		return errf("MPB address space %d cores x %d bytes overflows addressable range",
+			m.NumCores(), m.MPBBytesPerCore)
+	}
 	return nil
 }
 
